@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation: the full guardband ladder. Sweeps the PMD supply in 10 mV
+ * steps from nominal down to Vmin at 2.4 GHz and reports power, upset
+ * rate, and the FIT breakdown -- making Design Implication #2 ("run
+ * 10 mV above Vmin") quantitative at every step, not just the paper's
+ * three measured points.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/fit_calculator.hh"
+#include "core/table_printer.hh"
+#include "core/test_session.hh"
+#include "cpu/xgene2_platform.hh"
+#include "volt/operating_point.hh"
+
+int
+main()
+{
+    using namespace xser;
+    bench::banner("Ablation: guardband ladder (2.4 GHz)");
+
+    const double scale = core::campaignScaleFromEnv(bench::defaultScale);
+
+    core::TablePrinter table({"PMD (mV)", "SoC (mV)", "power (W)",
+                              "upsets/min", "SDC FIT", "total FIT"});
+    for (double pmd = 980.0; pmd >= 920.0 - 0.5; pmd -= 10.0) {
+        // The SoC domain tracks the PMD reduction as in Table 3
+        // (950 -> 925 -> 920), floored at 920 mV.
+        const double soc = std::max(920.0, 950.0 - (980.0 - pmd) / 2.0);
+        volt::OperatingPoint point{"ladder", pmd,
+                                   5.0 * std::round(soc / 5.0), 2.4e9};
+
+        cpu::XGene2Platform platform;
+        core::SessionConfig config;
+        config.point = point;
+        config.maxErrorEvents = static_cast<uint64_t>(80 * scale);
+        config.maxFluence = 6e10 * scale;
+        config.seed = 0x9aadba9dULL + static_cast<uint64_t>(pmd);
+        core::TestSession session(&platform, config);
+        const core::SessionResult result = session.execute();
+        const core::FitBreakdown fit =
+            core::FitCalculator::breakdown(result);
+
+        table.addRow({core::TablePrinter::fmt(pmd, 0),
+                      core::TablePrinter::fmt(point.socMillivolts, 0),
+                      core::TablePrinter::fmt(result.avgPowerWatts, 2),
+                      core::TablePrinter::fmt(result.upsetsPerMinute(),
+                                              2),
+                      core::TablePrinter::fmt(fit.sdc.fit, 2),
+                      core::TablePrinter::fmt(fit.total.fit, 2)});
+    }
+    std::printf("%s\n", table.toString().c_str());
+    std::printf(
+        "expected shape: power falls steadily with each step, upset\n"
+        "rates creep up, and the SDC/total FIT stays near-flat until\n"
+        "the last ~10 mV above the cliff, where it explodes --\n"
+        "quantifying Design Implication #2's 'operate slightly above\n"
+        "the lowest safe Vmin' (930 mV beats 920 mV by >5x FIT for\n"
+        "only ~2 %% extra power).\n");
+    return 0;
+}

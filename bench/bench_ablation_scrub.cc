@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Ablation: patrol-scrub pacing. Sweeps the L2 scrub pass period (and
+ * an L3-scrub-on variant) at nominal voltage and reports how detected
+ * upset rates respond -- the knob behind the raw-vs-detected gap of
+ * Section 3.5.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/table_printer.hh"
+#include "core/test_session.hh"
+#include "cpu/xgene2_platform.hh"
+#include "volt/operating_point.hh"
+
+int
+main()
+{
+    using namespace xser;
+    bench::banner("Ablation: patrol-scrub pacing (980 mV @ 2.4 GHz)");
+
+    const double scale = core::campaignScaleFromEnv(bench::defaultScale);
+
+    struct Variant {
+        const char *label;
+        bool l2_enabled;
+        double l2_period_us;
+        bool l3_enabled;
+    };
+    const Variant variants[] = {
+        {"no scrub", false, 250.0, false},
+        {"L2 @ 1000 us/pass", true, 1000.0, false},
+        {"L2 @ 250 us/pass (default)", true, 250.0, false},
+        {"L2 @ 60 us/pass", true, 60.0, false},
+        {"L2 @ 250 us + L3 @ 2 ms", true, 250.0, true},
+    };
+
+    core::TablePrinter table({"variant", "TLB/min", "L1/min", "L2/min",
+                              "L3/min", "total/min"});
+    for (const Variant &variant : variants) {
+        cpu::XGene2Platform platform;
+        core::SessionConfig config;
+        config.point = volt::nominalPoint();
+        config.maxErrorEvents = static_cast<uint64_t>(100 * scale);
+        config.maxFluence = 1.49e11 * scale;
+        config.seed = 0x5c20bULL;
+        config.scrub.enabled = variant.l2_enabled || variant.l3_enabled;
+        config.scrub.l2Enabled = variant.l2_enabled;
+        config.scrub.l3Enabled = variant.l3_enabled;
+        config.scrub.l2PassPeriod =
+            ticks::fromSeconds(variant.l2_period_us * 1e-6);
+        config.scrub.l3PassPeriod = ticks::fromSeconds(2e-3);
+
+        core::TestSession session(&platform, config);
+        const core::SessionResult result = session.execute();
+        const double minutes = result.equivalentMinutes();
+        auto rate = [&](mem::CacheLevel level) {
+            const auto &tally =
+                result.edac[static_cast<size_t>(level)];
+            return minutes > 0.0
+                ? static_cast<double>(tally.corrected +
+                                      tally.uncorrected) / minutes
+                : 0.0;
+        };
+        table.addRow({variant.label,
+                      core::TablePrinter::fmt(rate(mem::CacheLevel::Tlb),
+                                              3),
+                      core::TablePrinter::fmt(rate(mem::CacheLevel::L1),
+                                              3),
+                      core::TablePrinter::fmt(rate(mem::CacheLevel::L2),
+                                              3),
+                      core::TablePrinter::fmt(rate(mem::CacheLevel::L3),
+                                              3),
+                      core::TablePrinter::fmt(result.upsetsPerMinute(),
+                                              2)});
+    }
+    std::printf("%s\n", table.toString().c_str());
+    std::printf(
+        "expected shape: faster L2 scrub -> higher detected L2 rate\n"
+        "(raw upsets are unchanged; only visibility moves). Adding L3\n"
+        "scrub lifts the L3 rate above the paper's 0.77/min, showing\n"
+        "why the deployed configuration detects on demand instead.\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation: the energy-vs-reliability policy curve. Answers the
+ * paper's introductory question ("do the energy savings outweigh the
+ * recovery overhead?") for a checkpointed 50k-server fleet: energy
+ * saved per year vs silent corruptions per year at every ladder step,
+ * plus the best setting under a few SDC budgets.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/table_printer.hh"
+#include "core/tradeoff.hh"
+#include "volt/timing_model.hh"
+
+int
+main()
+{
+    using namespace xser;
+    bench::banner("Ablation: energy vs reliability policy curve");
+
+    volt::PowerModel power;
+    volt::TimingModel timing;
+    core::LogicSusceptibilityModel logic(&timing);
+    core::TradeoffConfig config;
+    config.devices = 50000.0;
+    config.checkpointSeconds = 30.0;
+    core::EnergyReliabilityAnalyzer analyzer(&power, &logic, config);
+
+    const auto ladder = analyzer.ladder(920.0);
+    const double nominal_energy = ladder.front().energyPerYearMwh;
+
+    core::TablePrinter table({"PMD (mV)", "power (W)", "energy saved "
+                              "(MWh/yr)", "crash FIT", "ckpt interval "
+                              "(h)", "waste", "SDCs/yr"});
+    for (const auto &point : ladder) {
+        table.addRow({core::TablePrinter::fmt(
+                          point.point.pmdMillivolts, 0),
+                      core::TablePrinter::fmt(point.powerWatts, 2),
+                      core::TablePrinter::fmt(
+                          nominal_energy - point.energyPerYearMwh, 0),
+                      core::TablePrinter::fmt(point.crashFit, 2),
+                      core::TablePrinter::fmt(
+                          point.optimalCheckpointHours, 1),
+                      core::TablePrinter::pct(point.wasteFraction, 3),
+                      core::TablePrinter::fmt(point.sdcIncidentsPerYear,
+                                              1)});
+    }
+    std::printf("%s\n", table.toString().c_str());
+
+    for (double budget : {5.0, 20.0, 100.0}) {
+        const core::TradeoffPoint best =
+            analyzer.bestUnderSdcBudget(budget);
+        std::printf("best setting under %5.0f SDCs/year: %s "
+                    "(saves %.0f MWh/yr)\n",
+                    budget, best.point.label().c_str(),
+                    nominal_energy - best.energyPerYearMwh);
+    }
+    std::printf(
+        "\nexpected shape: checkpoint waste is negligible at terrestrial\n"
+        "flux (crashes are rare and restartable), so the recovery\n"
+        "overhead never cancels the energy savings -- the binding\n"
+        "constraint is the *silent* corruption budget, which explodes in\n"
+        "the final 10 mV. This quantifies the paper's Design\n"
+        "Implication #2 for a cloud operator.\n");
+    return 0;
+}

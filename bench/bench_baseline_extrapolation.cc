@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Baseline comparison: Seifert-style raw-SER voltage extrapolation
+ * ([66],[67] -- the state of the art the paper goes beyond) vs the
+ * full-system campaign. The extrapolation predicts the SRAM SER
+ * correctly but, by construction, cannot see the system-level SDC
+ * explosion -- exactly the gap the paper's real-hardware methodology
+ * exposes.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/fit_calculator.hh"
+#include "core/table_printer.hh"
+#include "cpu/xgene2_platform.hh"
+#include "rad/raw_ser_extrapolation.hh"
+
+int
+main()
+{
+    using namespace xser;
+    bench::banner("Baseline: raw-SER extrapolation vs full system");
+
+    // The baseline: measure nothing but nominal SRAM SER, extrapolate
+    // through the Qcrit model.
+    cpu::XGene2Platform platform;
+    rad::CrossSectionModel xsection;
+    rad::RawSerExtrapolation baseline(
+        &xsection, rad::inventoryFrom(platform.memory().beamTargets()));
+    const auto predictions = baseline.predict(
+        {{0.980, 0.950}, {0.930, 0.925}, {0.920, 0.920}});
+
+    // The full system: campaign-measured FIT per category.
+    const auto sessions = bench::run24GHzSessions();
+
+    core::TablePrinter table(
+        {"setting", "raw-SER ratio (baseline)",
+         "upsets/min ratio (measured)", "SDC FIT ratio (measured)",
+         "total FIT ratio (measured)"});
+    const core::FitBreakdown nominal_fit =
+        core::FitCalculator::breakdown(sessions.front());
+    for (size_t i = 0; i < sessions.size(); ++i) {
+        const core::FitBreakdown fit =
+            core::FitCalculator::breakdown(sessions[i]);
+        const double upset_ratio =
+            sessions.front().upsetsPerMinute() > 0.0
+                ? sessions[i].upsetsPerMinute() /
+                      sessions.front().upsetsPerMinute()
+                : 0.0;
+        table.addRow(
+            {sessions[i].point.label(),
+             core::TablePrinter::fmt(predictions[i].ratioToNominal, 2) +
+                 "x",
+             core::TablePrinter::fmt(upset_ratio, 2) + "x",
+             core::TablePrinter::fmt(
+                 nominal_fit.sdc.fit > 0.0
+                     ? fit.sdc.fit / nominal_fit.sdc.fit : 0.0,
+                 2) + "x",
+             core::TablePrinter::fmt(
+                 nominal_fit.total.fit > 0.0
+                     ? fit.total.fit / nominal_fit.total.fit : 0.0,
+                 2) + "x"});
+    }
+    std::printf("%s\n", table.toString().c_str());
+    std::printf(
+        "expected shape: the baseline's raw-SER ratio (1.0 -> ~1.15x at\n"
+        "Vmin) tracks the measured cache upset rate -- the quantity\n"
+        "[66,67] were built to predict -- but misses the system-level\n"
+        "SDC blow-up (~16x) entirely: the corruption comes from\n"
+        "unprotected core logic coupling to the timing cliff, which no\n"
+        "SRAM-only extrapolation can see. This is the gap the paper's\n"
+        "full-stack beam methodology exposes (Sections 1, 6).\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared helpers for the per-table/per-figure bench binaries.
+ *
+ * Every binary runs scaled-down sessions by default so the full bench
+ * sweep finishes in minutes; set XSER_FULL=1 for paper-scale stop
+ * criteria (Section 3.5: 100+ events or ~1.5e11 n/cm^2 per session)
+ * or XSER_SCALE=<f> for anything between.
+ */
+
+#ifndef XSER_BENCH_BENCH_COMMON_HH
+#define XSER_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/beam_campaign.hh"
+#include "core/test_session.hh"
+
+namespace xser::bench {
+
+/** Default stop-criteria scale for bench runs. */
+constexpr double defaultScale = 0.22;
+
+/** Banner with the scale in effect. */
+inline void
+banner(const char *title)
+{
+    const double scale = core::campaignScaleFromEnv(defaultScale);
+    std::printf("=== %s ===\n", title);
+    std::printf("(session scale %.2f; XSER_FULL=1 for paper-scale "
+                "statistics)\n\n",
+                scale);
+}
+
+/** Run the three 2.4 GHz sessions (980/930/920 mV). */
+inline std::vector<core::SessionResult>
+run24GHzSessions(uint64_t seed = 0x5e5510ULL)
+{
+    const double scale = core::campaignScaleFromEnv(defaultScale);
+    core::BeamCampaign campaign(
+        core::BeamCampaign::campaign24GHz(scale, seed));
+    return campaign.execute().sessions;
+}
+
+/** Run all four paper sessions (adds 790 mV @ 900 MHz). */
+inline std::vector<core::SessionResult>
+runPaperSessions(uint64_t seed = 0x5e5510ULL)
+{
+    const double scale = core::campaignScaleFromEnv(defaultScale);
+    core::BeamCampaign campaign(
+        core::BeamCampaign::paperCampaign(scale, seed));
+    return campaign.execute().sessions;
+}
+
+/** Run only the 790 mV @ 900 MHz session. */
+inline core::SessionResult
+run900MHzSession(uint64_t seed = 0x5e5510ULL)
+{
+    const double scale = core::campaignScaleFromEnv(defaultScale);
+    core::CampaignConfig config =
+        core::BeamCampaign::paperCampaign(scale, seed);
+    config.sessions.erase(config.sessions.begin(),
+                          config.sessions.begin() + 3);
+    core::BeamCampaign campaign(config);
+    return campaign.execute().sessions.front();
+}
+
+/** Print a paper-reference block for side-by-side comparison. */
+inline void
+paperReference(const std::string &text)
+{
+    std::printf("--- paper reference ---\n%s\n", text.c_str());
+}
+
+} // namespace xser::bench
+
+#endif // XSER_BENCH_BENCH_COMMON_HH

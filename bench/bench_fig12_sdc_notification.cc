@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Regenerates Fig. 12: SDC FIT rates split by hardware-notification
+ * class (no notification vs coincident corrected-error report) at the
+ * three 2.4 GHz voltage settings.
+ */
+
+#include "bench_common.hh"
+#include "core/campaign_report.hh"
+
+int
+main()
+{
+    using namespace xser;
+    bench::banner("Fig. 12: SDC FIT by notification class (2.4 GHz)");
+
+    const auto sessions = bench::run24GHzSessions();
+    std::printf("%s\n", core::formatFig12(sessions).c_str());
+
+    bench::paperReference(
+        "                 980mV  930mV  920mV\n"
+        "w/o notification: 1.84   3.84  39.2\n"
+        "w/  notification: 0.70   0.98   2.23\n"
+        "shape: both classes grow toward Vmin, but unnotified SDCs\n"
+        "dominate and explode -- the corruption originates in\n"
+        "unprotected core logic (Design Implication #4).\n");
+    return 0;
+}

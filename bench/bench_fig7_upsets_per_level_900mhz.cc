@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Regenerates Fig. 7: upsets per minute per cache level at 790 mV @
+ * 900 MHz (PMD deeply undervolted, SoC/L3 still at nominal).
+ */
+
+#include "bench_common.hh"
+#include "core/campaign_report.hh"
+
+int
+main()
+{
+    using namespace xser;
+    bench::banner("Fig. 7: upsets/min per cache level (900 MHz)");
+
+    const auto session = bench::run900MHzSession();
+    std::printf("%s\n", core::formatFig7(session).c_str());
+
+    bench::paperReference(
+        "TLB (corr) 0.03 | L1 (corr) 0.07 | L2 (corr) 0.29 |\n"
+        "L3 (corr) 0.83 | L3 (uncorr) 0.04\n"
+        "shape: PMD arrays (TLB/L1/L2) rise strongly vs 920 mV@2.4GHz\n"
+        "(L1 ~2.7x, L2 ~1.5x) because only the PMD domain is at\n"
+        "790 mV; the SoC-domain L3 stays near its 2.4 GHz level.\n");
+    return 0;
+}

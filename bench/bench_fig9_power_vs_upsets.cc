@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Regenerates Fig. 9: total power consumption vs cache upsets per
+ * minute across all four operating points.
+ */
+
+#include "bench_common.hh"
+#include "core/campaign_report.hh"
+
+int
+main()
+{
+    using namespace xser;
+    bench::banner("Fig. 9: power vs soft-error susceptibility");
+
+    const auto sessions = bench::runPaperSessions();
+    std::printf("%s\n", core::formatFig9(sessions).c_str());
+
+    bench::paperReference(
+        "980mV@2.4GHz: 20.40 W, 1.01 upsets/min\n"
+        "930mV@2.4GHz: 18.63 W, 1.08 upsets/min\n"
+        "920mV@2.4GHz: 18.15 W, 1.12 upsets/min\n"
+        "790mV@900MHz: 10.59 W, 1.18 upsets/min\n"
+        "shape: power falls with voltage (and frequency) while the\n"
+        "upset rate rises near-linearly with voltage reduction only\n"
+        "(Observation #6: frequency does not matter).\n");
+    return 0;
+}

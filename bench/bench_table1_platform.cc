@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Regenerates Table 1: the platform specification (and prints the
+ * SRAM beam-footprint inventory the campaign irradiates).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "cpu/xgene2_platform.hh"
+
+int
+main()
+{
+    using namespace xser;
+    bench::banner("Table 1: X-Gene 2 specification");
+
+    cpu::XGene2Platform platform;
+    std::printf("%s\n", platform.specTable().c_str());
+
+    std::printf("SRAM beam footprint:\n");
+    uint64_t total = 0;
+    for (const auto &target : platform.memory().beamTargets()) {
+        total += target.array->totalBits();
+        std::printf("  %-10s %10llu bits  (%s domain, %s)\n",
+                    target.array->name().c_str(),
+                    static_cast<unsigned long long>(
+                        target.array->totalBits()),
+                    target.pmdDomain ? "PMD" : "SoC",
+                    mem::protectionName(target.array->protection()));
+    }
+    std::printf("  total      %10llu bits (%.2f MB incl. check bits)\n",
+                static_cast<unsigned long long>(total),
+                static_cast<double>(total) / 8.0 / 1024.0 / 1024.0);
+    return 0;
+}

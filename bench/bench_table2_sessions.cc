@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Regenerates Table 2 (the four neutron-beam sessions) and Table 3
+ * (the voltage operating points).
+ */
+
+#include "bench_common.hh"
+#include "core/campaign_report.hh"
+
+int
+main()
+{
+    using namespace xser;
+    bench::banner("Table 2: Neutron Beam Time Sessions");
+
+    const auto sessions = bench::runPaperSessions();
+    std::printf("%s\n", core::formatTable2(sessions).c_str());
+    std::printf("%s\n", core::formatTable3().c_str());
+
+    bench::paperReference(
+        "session (PMD mV)      :   980      930      920      790\n"
+        "duration (min)        :  1651     1618      453      165\n"
+        "fluence (n/cm2)       : 1.49e11  1.46e11  4.08e10  1.48e10\n"
+        "NYC-equivalent years  : 1.30e6   1.28e6   3.58e5   1.30e5\n"
+        "SDCs and crashes (#)  :    95       97      141       13\n"
+        "errors rate (/min)    : 5.75e-2  5.99e-2  3.11e-1  7.87e-2\n"
+        "memory upsets (#)     :  1669     1743      506      195\n"
+        "upsets rate (/min)    : 1.011    1.077    1.117    1.182\n"
+        "memory SER (FIT/Mbit) : 2.08     2.22     2.30     2.45\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Quickstart: build an X-Gene 2 platform, put it in a simulated
+ * neutron beam at the paper's Vmin operating point, run one short test
+ * session, and print what the campaign observed.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/fit_calculator.hh"
+#include "core/test_session.hh"
+#include "cpu/xgene2_platform.hh"
+#include "volt/operating_point.hh"
+
+int
+main()
+{
+    using namespace xser;
+
+    // 1. The server under test: Table 1's X-Gene 2 (8 Armv8 cores,
+    //    parity L1/TLB, SECDED L2/L3, PMD + SoC voltage domains).
+    cpu::XGene2Platform platform;
+    std::printf("%s\n", platform.specTable().c_str());
+
+    // 2. A short beam session at the lowest safe voltage (920 mV @
+    //    2.4 GHz), stopping after 30 error events or 2e10 n/cm^2.
+    core::SessionConfig config;
+    config.point = volt::vminPoint();
+    config.maxErrorEvents = 30;
+    config.maxFluence = 2e10;
+    config.seed = 42;
+
+    core::TestSession session(&platform, config);
+    core::SessionResult result = session.execute();
+
+    // 3. What the Control-PC logged.
+    std::printf("Session at %s\n", result.point.label().c_str());
+    std::printf("  runs                : %llu\n",
+                static_cast<unsigned long long>(result.runs));
+    std::printf("  fluence             : %.3e n/cm^2\n", result.fluence);
+    std::printf("  beam-equivalent time: %.1f minutes\n",
+                result.equivalentMinutes());
+    std::printf("  memory upsets       : %llu (%.2f per minute)\n",
+                static_cast<unsigned long long>(result.upsetsDetected),
+                result.upsetsPerMinute());
+    std::printf("  SDCs                : %llu\n",
+                static_cast<unsigned long long>(
+                    result.events.sdcTotal()));
+    std::printf("  application crashes : %llu\n",
+                static_cast<unsigned long long>(result.events.appCrash));
+    std::printf("  system crashes      : %llu\n",
+                static_cast<unsigned long long>(result.events.sysCrash));
+
+    // 4. Projected failure rates at NYC sea level (Eq. 1 + Eq. 2).
+    const core::FitBreakdown fit = core::FitCalculator::breakdown(result);
+    std::printf("  SDC FIT             : %.2f [%.2f, %.2f]\n",
+                fit.sdc.fit, fit.sdc.ci.lower, fit.sdc.ci.upper);
+    std::printf("  total FIT           : %.2f [%.2f, %.2f]\n",
+                fit.total.fit, fit.total.ci.lower, fit.total.ci.upper);
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Undervolting study: the paper's full methodology end to end on one
+ * chip specimen.
+ *
+ *  1. Offline characterization (Section 4.1 / Fig. 4): sweep the PMD
+ *     supply downward at both frequencies, find the safe Vmin.
+ *  2. Accelerated beam sessions at nominal, safe, and Vmin settings
+ *     (Sections 4.2-4.4).
+ *  3. The power/dependability trade-off that falls out (Section 5 and
+ *     Design Implication #2).
+ *
+ * Run: ./build/examples/undervolting_study [chip-seed]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/fit_calculator.hh"
+#include "core/test_session.hh"
+#include "cpu/xgene2_platform.hh"
+#include "volt/operating_point.hh"
+#include "volt/vmin_characterizer.hh"
+
+namespace {
+
+/** One short beam session at a point, on a fresh instance of `chip`. */
+xser::core::SessionResult
+beamSession(const xser::cpu::PlatformConfig &chip,
+            const xser::volt::OperatingPoint &point, uint64_t seed)
+{
+    xser::cpu::XGene2Platform platform(chip);
+    xser::core::SessionConfig config;
+    config.point = point;
+    config.maxErrorEvents = 30;
+    config.maxFluence = 1.5e10;
+    config.seed = seed;
+    xser::core::TestSession session(&platform, config);
+    return session.execute();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace xser;
+
+    cpu::PlatformConfig chip;
+    if (argc > 1)
+        chip.chipSeed = std::strtoull(argv[1], nullptr, 0);
+    std::printf("chip specimen seed: 0x%llx\n\n",
+                static_cast<unsigned long long>(chip.chipSeed));
+
+    // ---- Phase 1: offline Vmin characterization (no radiation) ----
+    cpu::XGene2Platform probe(chip);
+    volt::VminCharacterizer characterizer(probe.timing(),
+                                          probe.variation());
+
+    volt::VminSweepConfig sweep;
+    sweep.frequencyHz = 2.4e9;
+    sweep.startMillivolts = 980.0;
+    sweep.stopMillivolts = 890.0;
+    sweep.runsPerStep = 500;
+    const volt::VminSweepResult result24 = characterizer.sweep(sweep);
+
+    sweep.frequencyHz = 0.9e9;
+    sweep.startMillivolts = 820.0;
+    sweep.stopMillivolts = 760.0;
+    const volt::VminSweepResult result900 = characterizer.sweep(sweep);
+
+    std::printf("safe Vmin @ 2.4 GHz : %.0f mV (complete failure at "
+                "%.0f mV)\n",
+                result24.safeVminMillivolts,
+                result24.completeFailMillivolts);
+    std::printf("safe Vmin @ 900 MHz : %.0f mV (complete failure at "
+                "%.0f mV)\n",
+                result900.safeVminMillivolts,
+                result900.completeFailMillivolts);
+    std::printf("weakest core        : %u (offset %+.1f mV)\n\n",
+                probe.variation().weakestCore(),
+                probe.variation().worstOffsetVolts() * 1000.0);
+
+    // ---- Phase 2: beam sessions at the three 2.4 GHz settings ----
+    const volt::OperatingPoint points[] = {
+        volt::nominalPoint(),
+        volt::safePoint(),
+        volt::vminPoint(),
+    };
+    std::printf("%-16s %9s %11s %9s %9s\n", "setting", "power(W)",
+                "upsets/min", "SDC FIT", "total FIT");
+    double nominal_power = 0.0;
+    double nominal_fit = 0.0;
+    uint64_t session_index = 0;
+    for (const auto &point : points) {
+        // Distinct seed per session: reusing one seed would replay the
+        // same random stream at every voltage and correlate the
+        // Poisson draws across sessions.
+        const core::SessionResult session = beamSession(
+            chip, point,
+            0xbea3 + chip.chipSeed + 0x9e37 * ++session_index);
+        const core::FitBreakdown fit =
+            core::FitCalculator::breakdown(session);
+        std::printf("%-16s %9.2f %11.2f %9.2f %9.2f\n",
+                    point.label().c_str(), session.avgPowerWatts,
+                    session.upsetsPerMinute(), fit.sdc.fit,
+                    fit.total.fit);
+        if (point.name == "Nominal") {
+            nominal_power = session.avgPowerWatts;
+            nominal_fit = fit.total.fit;
+        } else {
+            // ---- Phase 3: the trade-off ----
+            const double savings = 100.0 *
+                (nominal_power - session.avgPowerWatts) / nominal_power;
+            const double fit_ratio =
+                nominal_fit > 0.0 ? fit.total.fit / nominal_fit : 0.0;
+            std::printf("%-16s -> saves %.1f%% power at %.1fx the "
+                        "nominal failure rate\n",
+                        "", savings, fit_ratio);
+        }
+    }
+    std::printf("\nDesign Implication #2: the 930 mV setting banks most"
+                " of the power\nsavings while the FIT explosion only"
+                " arrives in the last 10 mV above\nthe cliff.\n");
+    return 0;
+}

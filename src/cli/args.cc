@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Args implementation.
+ */
+
+#include "cli/args.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace xser::cli {
+
+Args
+Args::parse(int argc, const char *const *argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string token = argv[i];
+        if (token.rfind("--", 0) == 0) {
+            const std::string key = token.substr(2);
+            if (key.empty())
+                fatal("empty option name '--'");
+            std::string value;
+            if (i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                value = argv[++i];
+            }
+            args.options_[key] = value;
+        } else if (args.command_.empty()) {
+            args.command_ = token;
+        } else {
+            fatal(msg("unexpected positional argument '", token, "'"));
+        }
+    }
+    return args;
+}
+
+bool
+Args::has(const std::string &key) const
+{
+    return options_.count(key) > 0;
+}
+
+std::string
+Args::get(const std::string &key, const std::string &fallback) const
+{
+    auto found = options_.find(key);
+    return found == options_.end() ? fallback : found->second;
+}
+
+double
+Args::getDouble(const std::string &key, double fallback) const
+{
+    auto found = options_.find(key);
+    if (found == options_.end())
+        return fallback;
+    char *end = nullptr;
+    const double value = std::strtod(found->second.c_str(), &end);
+    if (end == found->second.c_str() || *end != '\0')
+        fatal(msg("option --", key, " expects a number, got '",
+                  found->second, "'"));
+    return value;
+}
+
+uint64_t
+Args::getUint(const std::string &key, uint64_t fallback) const
+{
+    auto found = options_.find(key);
+    if (found == options_.end())
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long value =
+        std::strtoull(found->second.c_str(), &end, 0);
+    if (end == found->second.c_str() || *end != '\0')
+        fatal(msg("option --", key, " expects an integer, got '",
+                  found->second, "'"));
+    return value;
+}
+
+std::vector<std::string>
+Args::keys() const
+{
+    std::vector<std::string> keys;
+    keys.reserve(options_.size());
+    for (const auto &[key, value] : options_)
+        keys.push_back(key);
+    return keys;
+}
+
+} // namespace xser::cli

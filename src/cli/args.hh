@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal command-line argument parser for the xser CLI: a positional
+ * command followed by `--key value` / `--flag` options.
+ */
+
+#ifndef XSER_CLI_ARGS_HH
+#define XSER_CLI_ARGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xser::cli {
+
+/**
+ * Parsed command line. Unknown options are collected so commands can
+ * reject them with a useful message.
+ */
+class Args
+{
+  public:
+    /**
+     * Parse argv. The first non-option token is the command; options
+     * are `--key value` pairs, or bare `--key` flags when the next
+     * token is another option or the end.
+     */
+    static Args parse(int argc, const char *const *argv);
+
+    /** The positional command ("session", "campaign", ...). */
+    const std::string &command() const { return command_; }
+
+    /** True when --key was given (with or without a value). */
+    bool has(const std::string &key) const;
+
+    /** String option with default. */
+    std::string get(const std::string &key,
+                    const std::string &fallback) const;
+
+    /** Numeric option with default (fatal on unparseable value). */
+    double getDouble(const std::string &key, double fallback) const;
+
+    /** Integer option with default (fatal on unparseable value). */
+    uint64_t getUint(const std::string &key, uint64_t fallback) const;
+
+    /** All option keys seen, for unknown-option diagnostics. */
+    std::vector<std::string> keys() const;
+
+  private:
+    std::string command_;
+    std::map<std::string, std::string> options_;
+};
+
+} // namespace xser::cli
+
+#endif // XSER_CLI_ARGS_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * BeamCampaign implementation.
+ */
+
+#include "core/beam_campaign.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace xser::core {
+
+BeamCampaign::BeamCampaign(const CampaignConfig &config) : config_(config)
+{
+    if (config_.sessions.empty())
+        fatal("campaign needs at least one session");
+}
+
+CampaignResult
+BeamCampaign::execute()
+{
+    CampaignResult result;
+    for (const auto &session_config : config_.sessions) {
+        // Fresh silicon state per session, same physical chip
+        // (identical platform config/seed -> same process variation).
+        cpu::XGene2Platform platform(config_.platform);
+        TestSession session(&platform, session_config);
+        result.sessions.push_back(session.execute());
+    }
+    return result;
+}
+
+namespace {
+
+SessionConfig
+paperSession(const volt::OperatingPoint &point, double max_fluence,
+             uint64_t max_events, uint64_t seed, uint64_t index)
+{
+    SessionConfig config;
+    config.point = point;
+    config.maxFluence = max_fluence;
+    config.maxErrorEvents = max_events;
+    config.seed = seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+    return config;
+}
+
+} // namespace
+
+CampaignConfig
+BeamCampaign::paperCampaign(double scale, uint64_t seed)
+{
+    XSER_ASSERT(scale > 0.0, "campaign scale must be positive");
+    const auto events = [scale](uint64_t base) {
+        return std::max<uint64_t>(
+            8, static_cast<uint64_t>(static_cast<double>(base) * scale));
+    };
+    CampaignConfig config;
+    // Sessions 1-3: the Section 3.5 rules (events or 1.5e11 fluence).
+    // Session 4 was cut short by beam-time expiry at 1.48e10 n/cm^2.
+    config.sessions.push_back(paperSession(
+        volt::nominalPoint(), 1.49e11 * scale, events(100), seed, 0));
+    config.sessions.push_back(paperSession(
+        volt::safePoint(), 1.46e11 * scale, events(100), seed, 1));
+    config.sessions.push_back(paperSession(
+        volt::vminPoint(), 1.5e11 * scale, events(141), seed, 2));
+    config.sessions.push_back(paperSession(
+        volt::vmin900Point(), 1.48e10 * scale, events(100), seed, 3));
+    return config;
+}
+
+CampaignConfig
+BeamCampaign::campaign24GHz(double scale, uint64_t seed)
+{
+    CampaignConfig config = paperCampaign(scale, seed);
+    config.sessions.pop_back();
+    return config;
+}
+
+double
+campaignScaleFromEnv(double default_scale)
+{
+    const char *full = std::getenv("XSER_FULL");
+    if (full != nullptr && full[0] == '1')
+        return 1.0;
+    const char *scale = std::getenv("XSER_SCALE");
+    if (scale != nullptr) {
+        const double parsed = std::atof(scale);
+        if (parsed > 0.0)
+            return parsed;
+    }
+    return default_scale;
+}
+
+} // namespace xser::core

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Calibration singletons.
+ */
+
+#include "core/calibration.hh"
+
+namespace xser::core {
+
+const LogicCalibration &
+logicCalibration()
+{
+    static const LogicCalibration calibration;
+    return calibration;
+}
+
+const SessionCalibration &
+sessionCalibration()
+{
+    static const SessionCalibration calibration;
+    return calibration;
+}
+
+} // namespace xser::core

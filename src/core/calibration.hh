@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Central calibration of the reproduction, with per-constant provenance.
+ *
+ * Everything here was fitted against the paper's own published numbers
+ * (which are internally consistent: FIT = events / fluence * 13 * 1e9
+ * reproduces Fig. 11 exactly from Table 2 and Fig. 8's percentages).
+ * The campaign then *measures* these generative rates back with Poisson
+ * noise, exactly as the beam study measured the silicon's underlying
+ * rates.
+ *
+ * Key derived event counts per session (from Table 2 + Fig. 8 + Figs.
+ * 12/13):
+ *
+ *   session       | fluence  | SDC | App | Sys | SDC-with-CE (of SDC)
+ *   980mV 2.4GHz  | 1.49e11  |  29 |  17 |  49 |  8   (0.70 FIT)
+ *   930mV 2.4GHz  | 1.46e11  |  54 |   7 |  36 | 11   (0.98 FIT)
+ *   920mV 2.4GHz  | 4.08e10  | 130 |   3 |   8 |  7   (2.23 FIT)
+ *   790mV 900MHz  | 1.48e10  |   6 |   2 |   5 |  1   (0.88 FIT)
+ */
+
+#ifndef XSER_CORE_CALIBRATION_HH
+#define XSER_CORE_CALIBRATION_HH
+
+namespace xser::core {
+
+/**
+ * Core-logic susceptibility constants (the statistical layer for
+ * unprotected flip-flops/datapath, see logic_susceptibility.hh).
+ * All cross sections are cm^2 for the whole chip.
+ */
+struct LogicCalibration {
+    /*
+     * Silent-SDC channel. Fitted to Fig. 11's SDC FIT series
+     * (2.54 -> 4.82 -> 41.43) minus the notified component (Fig. 12):
+     * DCS(V) = base + cliff * exp(-slack / tau), slack = V - Vcliff(f).
+     * Three-point fit gives tau = 3.55 mV -- the steep coupling between
+     * radiation-induced transients and vanishing timing slack that the
+     * paper's Design Implication #4 attributes to unprotected paths.
+     */
+    double sdcBaseDcs = 1.40e-10;
+    double sdcCliffDcsLogic = 8.0e-8;   ///< 2.4 GHz (logic-timing cliff)
+    double sdcCliffDcsSram = 8.0e-10;   ///< 900 MHz (SRAM-floor cliff):
+                                        ///< the long cycle absorbs
+                                        ///< transients, Obs. #6
+    double sdcTauVolts = 0.00355;
+
+    /*
+     * SDC-with-corrected-notification channel (Fig. 12/13): output
+     * mismatch coinciding with a CE report -- SECDED miscorrections and
+     * CE-coincident logic upsets (Section 6.2). Two-point fit below the
+     * cliff gives a gentler tau.
+     */
+    double notifBaseDcs = 5.4e-11;
+    double notifCliffDcsLogic = 8.9e-10;
+    double notifCliffDcsSram = 3.6e-11;
+    double notifTauVolts = 0.00587;
+
+    /*
+     * Crash channels. Fig. 11 shows both crash categories *declining*
+     * with undervolting at 2.4 GHz (AppCrash 1.49 -> 0.62 -> 0.96 FIT,
+     * SysCrash 4.29 -> 3.21 -> 2.55 FIT); the paper flags the low
+     * counts behind these points as statistically weak (Section 6.1),
+     * so we model the observed trend directly: an exponential decline
+     * in delta-V at the timing-limited frequency, and the measured flat
+     * level at 900 MHz where the relaxed cycle decouples crash-prone
+     * control state from the supply (Fig. 13 session: 2 App + 5 Sys in
+     * 1.48e10 n/cm^2).
+     */
+    double appCrashNominalDcs = 1.14e-10;  ///< 17 / 1.49e11
+    double appCrashDeclinePerVolt = 9.0;
+    double appCrashSramDcs = 1.35e-10;     ///< 2 / 1.48e10
+    double sysCrashNominalDcs = 3.29e-10;  ///< 49 / 1.49e11
+    double sysCrashDeclinePerVolt = 7.0;
+    double sysCrashSramDcs = 3.38e-10;     ///< 5 / 1.48e10
+};
+
+/**
+ * Beam/session constants shared by the paper-reproduction benches.
+ */
+struct SessionCalibration {
+    /*
+     * Per-run fluence target (n/cm^2). Chosen so the expected error
+     * events per run stay well below 1 at every voltage (the paper's
+     * own anti-accumulation constraint, Section 3.3) while sessions
+     * finish in a tractable number of simulated runs.
+     */
+    double fluencePerRun = 2.4e8;
+
+    /*
+     * SRAM sigma0 values (cm^2/bit at nominal voltage) per level,
+     * tuned so *detected* upset rates match Fig. 6 (detected rate =
+     * raw rate x detection efficiency; only the product is observable,
+     * in the paper as much as here). Voltage sensitivities live in
+     * rad::CrossSectionModel.
+     */
+    double sigma0Tlb = 1.0e-15;
+    double sigma0L1 = 1.0e-15;
+    double sigma0L2 = 1.0e-15;
+    double sigma0L3 = 1.72e-15;
+};
+
+/** Global calibrated constants. */
+const LogicCalibration &logicCalibration();
+const SessionCalibration &sessionCalibration();
+
+} // namespace xser::core
+
+#endif // XSER_CORE_CALIBRATION_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * ControlPc implementation.
+ */
+
+#include "core/control_pc.hh"
+
+#include "sim/logging.hh"
+
+namespace xser::core {
+
+void
+ControlPc::setGolden(const std::string &workload,
+                     const workloads::WorkloadOutput &output)
+{
+    if (output.termination != workloads::Termination::Completed)
+        panic(msg("golden run of ", workload, " trapped"));
+    if (!output.verified)
+        panic(msg("golden run of ", workload, " failed verification"));
+    golden_[workload] = output.signature;
+}
+
+bool
+ControlPc::hasGolden(const std::string &workload) const
+{
+    return golden_.count(workload) > 0;
+}
+
+const std::vector<uint64_t> &
+ControlPc::golden(const std::string &workload) const
+{
+    auto found = golden_.find(workload);
+    if (found == golden_.end())
+        panic(msg("no golden reference recorded for ", workload));
+    return found->second;
+}
+
+RunRecord
+ControlPc::classify(const std::string &workload,
+                    const workloads::WorkloadOutput &output,
+                    const LogicEvents &logic_events, bool ce_logged,
+                    double fluence, Tick duration, uint64_t upsets) const
+{
+    RunRecord record;
+    record.workload = workload;
+    record.withCeNotification = ce_logged;
+    record.fluence = fluence;
+    record.duration = duration;
+    record.upsetsDetected = upsets;
+
+    record.trappedOrganically =
+        output.termination == workloads::Termination::Trapped;
+    record.signatureMismatch =
+        output.termination == workloads::Termination::Completed &&
+        output.signature != golden(workload);
+
+    // Precedence mirrors what the Control-PC would see first: an
+    // unresponsive machine masks everything; a crashed application
+    // masks its output; only a completed run can be compared.
+    if (logic_events.sysCrash > 0)
+        record.outcome = RunOutcome::SysCrash;
+    else if (logic_events.appCrash > 0 || record.trappedOrganically)
+        record.outcome = RunOutcome::AppCrash;
+    else if (logic_events.sdcSilent > 0 || logic_events.sdcNotified > 0 ||
+             record.signatureMismatch)
+        record.outcome = RunOutcome::Sdc;
+    else
+        record.outcome = RunOutcome::Success;
+    return record;
+}
+
+EventCounts
+ControlPc::eventsOf(const RunRecord &record,
+                    const LogicEvents &logic_events) const
+{
+    EventCounts counts;
+    counts.sdcSilent = logic_events.sdcSilent;
+    counts.sdcNotified = logic_events.sdcNotified;
+    counts.appCrash =
+        logic_events.appCrash + (record.trappedOrganically ? 1 : 0);
+    counts.sysCrash = logic_events.sysCrash;
+    if (record.signatureMismatch) {
+        // Organic golden-compare miss: notified when hardware reported
+        // a correction during the run (Section 6.2's rare class).
+        if (record.withCeNotification)
+            ++counts.sdcNotified;
+        else
+            ++counts.sdcSilent;
+    }
+    return counts;
+}
+
+} // namespace xser::core

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Control-PC model (Fig. 3 / Section 3.6 of the paper).
+ *
+ * The real campaign's Control-PC compares each run's output against a
+ * pre-computed golden reference (mismatch -> SDC), detects hangs via
+ * response timeouts (restartable -> AppCrash, unreachable -> SysCrash
+ * + remote power cycle), and records everything for post-analysis.
+ * This class is the simulated counterpart: it holds golden signatures
+ * and fuses the organic evidence (signature compare, kernel traps, CE
+ * notifications) with the sampled core-logic events into one
+ * classified RunRecord.
+ */
+
+#ifndef XSER_CORE_CONTROL_PC_HH
+#define XSER_CORE_CONTROL_PC_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/logic_susceptibility.hh"
+#include "core/outcome.hh"
+#include "workloads/workload.hh"
+
+namespace xser::core {
+
+/**
+ * Golden-reference store and outcome classifier.
+ */
+class ControlPc
+{
+  public:
+    /** Record the golden reference for a workload. */
+    void setGolden(const std::string &workload,
+                   const workloads::WorkloadOutput &output);
+
+    /** True when a golden reference exists for the workload. */
+    bool hasGolden(const std::string &workload) const;
+
+    /** Golden signature (fatal when missing -- harness bug). */
+    const std::vector<uint64_t> &golden(const std::string &workload) const;
+
+    /**
+     * Classify one run.
+     *
+     * @param workload Workload name.
+     * @param output What the run produced.
+     * @param logic_events Sampled core-logic events of the run.
+     * @param ce_logged A corrected-error report occurred this run.
+     * @param fluence Fluence delivered during the run.
+     * @param duration Simulated run time.
+     * @param upsets EDAC events during the run.
+     */
+    RunRecord classify(const std::string &workload,
+                       const workloads::WorkloadOutput &output,
+                       const LogicEvents &logic_events, bool ce_logged,
+                       double fluence, Tick duration,
+                       uint64_t upsets) const;
+
+    /**
+     * Event tallies implied by one run (counts every sampled event,
+     * keeping rate estimates unbiased even when several events land in
+     * one run; an organic mismatch adds one SDC).
+     */
+    EventCounts eventsOf(const RunRecord &record,
+                         const LogicEvents &logic_events) const;
+
+  private:
+    std::map<std::string, std::vector<uint64_t>> golden_;
+};
+
+} // namespace xser::core
+
+#endif // XSER_CORE_CONTROL_PC_HH

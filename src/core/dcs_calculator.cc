@@ -1,0 +1,49 @@
+/**
+ * @file
+ * DcsCalculator implementation.
+ */
+
+#include "core/dcs_calculator.hh"
+
+#include "sim/logging.hh"
+
+namespace xser::core {
+
+DcsEstimate
+DcsCalculator::estimate(uint64_t events, double fluence,
+                        double confidence)
+{
+    DcsEstimate result;
+    result.events = events;
+    result.fluence = fluence;
+    if (fluence <= 0.0)
+        return result;
+    result.dcs = static_cast<double>(events) / fluence;
+    result.ci = scaleInterval(
+        poissonConfidenceInterval(events, confidence), fluence);
+    return result;
+}
+
+DcsBreakdown
+DcsCalculator::breakdown(const SessionResult &session, double confidence)
+{
+    DcsBreakdown breakdown;
+    const double fluence = session.fluence;
+    breakdown.sdc =
+        estimate(session.events.sdcTotal(), fluence, confidence);
+    breakdown.sdcSilent =
+        estimate(session.events.sdcSilent, fluence, confidence);
+    breakdown.sdcNotified =
+        estimate(session.events.sdcNotified, fluence, confidence);
+    breakdown.appCrash =
+        estimate(session.events.appCrash, fluence, confidence);
+    breakdown.sysCrash =
+        estimate(session.events.sysCrash, fluence, confidence);
+    breakdown.total =
+        estimate(session.events.total(), fluence, confidence);
+    breakdown.memoryUpsets =
+        estimate(session.upsetsDetected, fluence, confidence);
+    return breakdown;
+}
+
+} // namespace xser::core

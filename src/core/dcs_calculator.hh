@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Dynamic cross-section estimates (Eq. 1) with confidence intervals,
+ * per outcome category, from session results.
+ */
+
+#ifndef XSER_CORE_DCS_CALCULATOR_HH
+#define XSER_CORE_DCS_CALCULATOR_HH
+
+#include "core/test_session.hh"
+#include "stats/poisson_ci.hh"
+
+namespace xser::core {
+
+/** One DCS estimate. */
+struct DcsEstimate {
+    uint64_t events = 0;
+    double fluence = 0.0;
+    double dcs = 0.0;        ///< events / fluence (cm^2)
+    PoissonInterval ci{0.0, 0.0};
+};
+
+/** Per-category DCS estimates of a session. */
+struct DcsBreakdown {
+    DcsEstimate sdc;
+    DcsEstimate sdcSilent;
+    DcsEstimate sdcNotified;
+    DcsEstimate appCrash;
+    DcsEstimate sysCrash;
+    DcsEstimate total;
+    DcsEstimate memoryUpsets;
+};
+
+/**
+ * Computes Eq. 1 estimates from session results.
+ */
+class DcsCalculator
+{
+  public:
+    /** Estimate a DCS from a count and an exposure. */
+    static DcsEstimate estimate(uint64_t events, double fluence,
+                                double confidence = 0.95);
+
+    /** All categories of one session. */
+    static DcsBreakdown breakdown(const SessionResult &session,
+                                  double confidence = 0.95);
+};
+
+} // namespace xser::core
+
+#endif // XSER_CORE_DCS_CALCULATOR_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * FitCalculator implementation.
+ */
+
+#include "core/fit_calculator.hh"
+
+#include "rad/fit_math.hh"
+
+namespace xser::core {
+
+FitEstimate
+FitCalculator::estimate(uint64_t events, double fluence,
+                        double confidence)
+{
+    FitEstimate result;
+    result.events = events;
+    if (fluence <= 0.0)
+        return result;
+    result.fit = rad::fitFromCounts(events, fluence);
+    result.ci = rad::fitInterval(events, fluence, confidence);
+    return result;
+}
+
+FitBreakdown
+FitCalculator::breakdown(const SessionResult &session, double confidence)
+{
+    FitBreakdown breakdown;
+    const double fluence = session.fluence;
+    breakdown.appCrash =
+        estimate(session.events.appCrash, fluence, confidence);
+    breakdown.sysCrash =
+        estimate(session.events.sysCrash, fluence, confidence);
+    breakdown.sdc =
+        estimate(session.events.sdcTotal(), fluence, confidence);
+    breakdown.total =
+        estimate(session.events.total(), fluence, confidence);
+    breakdown.sdcSilent =
+        estimate(session.events.sdcSilent, fluence, confidence);
+    breakdown.sdcNotified =
+        estimate(session.events.sdcNotified, fluence, confidence);
+    return breakdown;
+}
+
+} // namespace xser::core

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * FIT-rate estimates (Eq. 2) with confidence intervals, per outcome
+ * category, from session results -- the numbers behind Figs. 11-13.
+ */
+
+#ifndef XSER_CORE_FIT_CALCULATOR_HH
+#define XSER_CORE_FIT_CALCULATOR_HH
+
+#include "core/test_session.hh"
+#include "stats/poisson_ci.hh"
+
+namespace xser::core {
+
+/** One FIT estimate at NYC sea level. */
+struct FitEstimate {
+    uint64_t events = 0;
+    double fit = 0.0;
+    PoissonInterval ci{0.0, 0.0};
+};
+
+/** Per-category FIT estimates of a session (Fig. 11's bars). */
+struct FitBreakdown {
+    FitEstimate appCrash;
+    FitEstimate sysCrash;
+    FitEstimate sdc;
+    FitEstimate total;
+    FitEstimate sdcSilent;    ///< Fig. 12 "w/o any hardware notification"
+    FitEstimate sdcNotified;  ///< Fig. 12 "w/ corrected error notification"
+};
+
+/**
+ * Computes Eq. 2 estimates from session results.
+ */
+class FitCalculator
+{
+  public:
+    /** FIT from an event count over a fluence. */
+    static FitEstimate estimate(uint64_t events, double fluence,
+                                double confidence = 0.95);
+
+    /** All categories of one session. */
+    static FitBreakdown breakdown(const SessionResult &session,
+                                  double confidence = 0.95);
+};
+
+} // namespace xser::core
+
+#endif // XSER_CORE_FIT_CALCULATOR_HH

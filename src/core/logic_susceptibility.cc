@@ -1,0 +1,85 @@
+/**
+ * @file
+ * LogicSusceptibilityModel implementation.
+ */
+
+#include "core/logic_susceptibility.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace xser::core {
+
+LogicSusceptibilityModel::LogicSusceptibilityModel(
+    const volt::TimingModel *timing, const LogicCalibration &calibration)
+    : timing_(timing), calibration_(calibration)
+{
+    XSER_ASSERT(timing_ != nullptr, "logic model needs a timing model");
+}
+
+double
+LogicSusceptibilityModel::cliffFactor(double pmd_volts,
+                                      double frequency_hz,
+                                      double tau) const
+{
+    const double slack = pmd_volts - timing_->cliffVolts(frequency_hz);
+    // At or below the cliff the chip fails functionally rather than
+    // statistically; campaigns never operate there, but clamp anyway.
+    return std::exp(-std::max(slack, 0.0) / tau);
+}
+
+LogicDcs
+LogicSusceptibilityModel::rates(double pmd_volts,
+                                double frequency_hz) const
+{
+    const bool logic_limited =
+        timing_->mechanismAt(frequency_hz) ==
+        volt::CliffMechanism::LogicTiming;
+    const auto &c = calibration_;
+
+    LogicDcs dcs;
+    dcs.sdcSilent =
+        c.sdcBaseDcs +
+        (logic_limited ? c.sdcCliffDcsLogic : c.sdcCliffDcsSram) *
+            cliffFactor(pmd_volts, frequency_hz, c.sdcTauVolts);
+    dcs.sdcNotified =
+        c.notifBaseDcs +
+        (logic_limited ? c.notifCliffDcsLogic : c.notifCliffDcsSram) *
+            cliffFactor(pmd_volts, frequency_hz, c.notifTauVolts);
+
+    const double delta_v = std::max(0.980 - pmd_volts, 0.0);
+    if (logic_limited) {
+        dcs.appCrash = c.appCrashNominalDcs *
+                       std::exp(-c.appCrashDeclinePerVolt * delta_v);
+        dcs.sysCrash = c.sysCrashNominalDcs *
+                       std::exp(-c.sysCrashDeclinePerVolt * delta_v);
+    } else {
+        dcs.appCrash = c.appCrashSramDcs;
+        dcs.sysCrash = c.sysCrashSramDcs;
+    }
+    return dcs;
+}
+
+LogicEvents
+LogicSusceptibilityModel::sampleRun(
+    double pmd_volts, double frequency_hz, double fluence,
+    const workloads::WorkloadTraits &traits, Rng &rng) const
+{
+    XSER_ASSERT(fluence >= 0.0, "fluence must be non-negative");
+    const LogicDcs dcs = rates(pmd_volts, frequency_hz);
+    LogicEvents events;
+    events.sdcSilent =
+        rng.nextPoisson(dcs.sdcSilent * fluence * traits.sdcWeight);
+    events.sdcNotified =
+        rng.nextPoisson(dcs.sdcNotified * fluence * traits.sdcWeight);
+    events.appCrash =
+        rng.nextPoisson(dcs.appCrash * fluence * traits.appCrashWeight);
+    events.sysCrash =
+        rng.nextPoisson(dcs.sysCrash * fluence * traits.sysCrashWeight);
+    return events;
+}
+
+} // namespace xser::core

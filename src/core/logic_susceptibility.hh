@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Statistical susceptibility model of the unprotected core logic.
+ *
+ * The paper can only observe SRAM upsets (via EDAC); SDCs and crashes
+ * largely originate in state no protection scheme reports -- pipeline
+ * flops, register files, control logic (Design Implication #4). We
+ * model that layer statistically: per-category chip-level dynamic
+ * cross sections as a function of the PMD voltage's remaining slack to
+ * the voltage cliff:
+ *
+ *     DCS(V, f) = base + cliff(f) * exp(-(V - Vcliff(f)) / tau)
+ *
+ * A radiation-induced transient is latched only if it lands within the
+ * path's remaining timing slack; as V approaches the cliff the slack
+ * vanishes and the capture probability explodes -- which is exactly
+ * the >16x SDC blow-up the paper measured 20 mV above complete failure.
+ * At 900 MHz the cliff is the SRAM stability floor and the cycle is
+ * 2.7x longer, so the coupling is far weaker (Observation #6).
+ */
+
+#ifndef XSER_CORE_LOGIC_SUSCEPTIBILITY_HH
+#define XSER_CORE_LOGIC_SUSCEPTIBILITY_HH
+
+#include <cstdint>
+
+#include "core/calibration.hh"
+#include "volt/timing_model.hh"
+#include "workloads/workload.hh"
+
+namespace xser {
+class Rng;
+} // namespace xser
+
+namespace xser::core {
+
+/** Chip-level dynamic cross sections per outcome category (cm^2). */
+struct LogicDcs {
+    double sdcSilent;    ///< SDC with no hardware notification
+    double sdcNotified;  ///< SDC coinciding with a CE report
+    double appCrash;
+    double sysCrash;
+
+    double total() const
+    {
+        return sdcSilent + sdcNotified + appCrash + sysCrash;
+    }
+};
+
+/** Events sampled for one run. */
+struct LogicEvents {
+    uint64_t sdcSilent = 0;
+    uint64_t sdcNotified = 0;
+    uint64_t appCrash = 0;
+    uint64_t sysCrash = 0;
+
+    bool any() const
+    {
+        return sdcSilent + sdcNotified + appCrash + sysCrash > 0;
+    }
+};
+
+/**
+ * Computes and samples core-logic outcome rates.
+ */
+class LogicSusceptibilityModel
+{
+  public:
+    /**
+     * @param timing Cliff model providing Vcliff(f) (not owned).
+     * @param calibration Fitted constants.
+     */
+    LogicSusceptibilityModel(const volt::TimingModel *timing,
+                             const LogicCalibration &calibration =
+                                 logicCalibration());
+
+    /** Per-category DCS at a PMD voltage and core frequency. */
+    LogicDcs rates(double pmd_volts, double frequency_hz) const;
+
+    /**
+     * Sample the logic-layer events of one run.
+     *
+     * @param pmd_volts PMD supply during the run.
+     * @param frequency_hz Core clock.
+     * @param fluence Fluence delivered during the run (n/cm^2).
+     * @param traits Workload AVF-style weights.
+     * @param rng Stream to draw from.
+     */
+    LogicEvents sampleRun(double pmd_volts, double frequency_hz,
+                          double fluence,
+                          const workloads::WorkloadTraits &traits,
+                          Rng &rng) const;
+
+  private:
+    /** Cliff-coupling factor exp(-slack/tau), clamped at slack <= 0. */
+    double cliffFactor(double pmd_volts, double frequency_hz,
+                       double tau) const;
+
+    const volt::TimingModel *timing_;
+    LogicCalibration calibration_;
+};
+
+} // namespace xser::core
+
+#endif // XSER_CORE_LOGIC_SUSCEPTIBILITY_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Automated verdicts for the paper's numbered observations.
+ *
+ * The paper distills its measurements into nine Observations and four
+ * Design Implications. Given a campaign result, this checker evaluates
+ * each observation's quantitative claim against the measured data and
+ * returns a verdict with the numbers behind it -- the reproduction's
+ * scorecard, regenerable in one call.
+ */
+
+#ifndef XSER_CORE_OBSERVATIONS_HH
+#define XSER_CORE_OBSERVATIONS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/beam_campaign.hh"
+
+namespace xser::core {
+
+/** Verdict for one observation. */
+struct ObservationVerdict {
+    int number = 0;            ///< paper's numbering (1..9)
+    std::string claim;         ///< the paper's statement (abridged)
+    std::string measurement;   ///< the numbers this campaign produced
+    bool holds = false;        ///< does the measured shape match?
+};
+
+/**
+ * Evaluates the observations against a four-session paper campaign
+ * (980/930/920 mV @ 2.4 GHz + 790 mV @ 900 MHz, in that order).
+ * Observations needing data the campaign lacks (e.g. #3's
+ * per-frequency stability) are judged from the sessions available.
+ */
+class ObservationChecker
+{
+  public:
+    /**
+     * @param campaign Result with the four Table 2 sessions in order
+     *        (fatal otherwise -- harness misuse).
+     */
+    explicit ObservationChecker(const CampaignResult &campaign);
+
+    /** All verdicts, in the paper's order. */
+    std::vector<ObservationVerdict> evaluate() const;
+
+    /** Number of observations that hold. */
+    static size_t countHolding(
+        const std::vector<ObservationVerdict> &verdicts);
+
+    /** Render a scorecard table. */
+    static std::string format(
+        const std::vector<ObservationVerdict> &verdicts);
+
+  private:
+    const SessionResult &nominal() const { return sessions_[0]; }
+    const SessionResult &safe() const { return sessions_[1]; }
+    const SessionResult &vmin() const { return sessions_[2]; }
+    const SessionResult &low900() const { return sessions_[3]; }
+
+    std::vector<SessionResult> sessions_;
+};
+
+} // namespace xser::core
+
+#endif // XSER_CORE_OBSERVATIONS_HH

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Outcome helpers.
+ */
+
+#include "core/outcome.hh"
+
+namespace xser::core {
+
+const char *
+runOutcomeName(RunOutcome outcome)
+{
+    switch (outcome) {
+      case RunOutcome::Success: return "Success";
+      case RunOutcome::Sdc: return "SDC";
+      case RunOutcome::AppCrash: return "AppCrash";
+      case RunOutcome::SysCrash: return "SysCrash";
+    }
+    return "unknown";
+}
+
+} // namespace xser::core

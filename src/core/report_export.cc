@@ -1,0 +1,139 @@
+/**
+ * @file
+ * CSV export implementation.
+ */
+
+#include "core/report_export.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/fit_calculator.hh"
+#include "sim/logging.hh"
+
+namespace xser::core {
+
+namespace {
+
+/** CSV-safe formatting for doubles (full precision, no locale). */
+std::string
+num(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+    return buffer;
+}
+
+} // namespace
+
+std::string
+sessionsToCsv(const std::vector<SessionResult> &sessions)
+{
+    std::ostringstream os;
+    os << "pmd_mv,soc_mv,frequency_hz,runs,fluence_ncm2,"
+          "equivalent_minutes,nyc_years,upsets,upsets_per_min,"
+          "ser_fit_per_mbit,sdc_silent,sdc_notified,app_crash,"
+          "sys_crash,errors_total,sdc_fit,sdc_fit_lo,sdc_fit_hi,"
+          "total_fit,total_fit_lo,total_fit_hi,avg_power_w\n";
+    for (const auto &session : sessions) {
+        const FitBreakdown fit = FitCalculator::breakdown(session);
+        os << num(session.point.pmdMillivolts) << ','
+           << num(session.point.socMillivolts) << ','
+           << num(session.point.frequencyHz) << ','
+           << session.runs << ','
+           << num(session.fluence) << ','
+           << num(session.equivalentMinutes()) << ','
+           << num(session.nycYearsEquivalent()) << ','
+           << session.upsetsDetected << ','
+           << num(session.upsetsPerMinute()) << ','
+           << num(session.memorySerFitPerMbit()) << ','
+           << session.events.sdcSilent << ','
+           << session.events.sdcNotified << ','
+           << session.events.appCrash << ','
+           << session.events.sysCrash << ','
+           << session.events.total() << ','
+           << num(fit.sdc.fit) << ',' << num(fit.sdc.ci.lower) << ','
+           << num(fit.sdc.ci.upper) << ','
+           << num(fit.total.fit) << ',' << num(fit.total.ci.lower)
+           << ',' << num(fit.total.ci.upper) << ','
+           << num(session.avgPowerWatts) << '\n';
+    }
+    return os.str();
+}
+
+std::string
+workloadSlicesToCsv(const std::vector<SessionResult> &sessions)
+{
+    std::ostringstream os;
+    os << "pmd_mv,frequency_hz,workload,runs,fluence_ncm2,upsets,"
+          "upsets_per_min,sdc,app_crash,sys_crash\n";
+    for (const auto &session : sessions) {
+        for (const auto &stats : session.perWorkload) {
+            os << num(session.point.pmdMillivolts) << ','
+               << num(session.point.frequencyHz) << ','
+               << stats.name << ','
+               << stats.runs << ','
+               << num(stats.fluence) << ','
+               << stats.upsetsDetected << ','
+               << num(stats.upsetsPerMinute(
+                      session.beamFluxPerSecond)) << ','
+               << stats.events.sdcTotal() << ','
+               << stats.events.appCrash << ','
+               << stats.events.sysCrash << '\n';
+        }
+    }
+    return os.str();
+}
+
+std::string
+edacLevelsToCsv(const std::vector<SessionResult> &sessions)
+{
+    std::ostringstream os;
+    os << "pmd_mv,frequency_hz,level,corrected,uncorrected,"
+          "corrected_per_min,uncorrected_per_min\n";
+    for (const auto &session : sessions) {
+        const double minutes = session.equivalentMinutes();
+        for (size_t level = 0; level < mem::numCacheLevels; ++level) {
+            const auto &tally = session.edac[level];
+            os << num(session.point.pmdMillivolts) << ','
+               << num(session.point.frequencyHz) << ','
+               << mem::cacheLevelName(
+                      static_cast<mem::CacheLevel>(level)) << ','
+               << tally.corrected << ',' << tally.uncorrected << ','
+               << num(minutes > 0
+                          ? static_cast<double>(tally.corrected) /
+                                minutes : 0.0) << ','
+               << num(minutes > 0
+                          ? static_cast<double>(tally.uncorrected) /
+                                minutes : 0.0) << '\n';
+        }
+    }
+    return os.str();
+}
+
+std::string
+sweepToCsv(const volt::VminSweepResult &sweep)
+{
+    std::ostringstream os;
+    os << "millivolts,runs,failures,pfail\n";
+    for (const auto &step : sweep.steps) {
+        os << num(step.millivolts) << ',' << step.runs << ','
+           << step.failures << ',' << num(step.pfail) << '\n';
+    }
+    return os.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &contents)
+{
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (file == nullptr)
+        fatal(msg("cannot open '", path, "' for writing"));
+    const size_t written =
+        std::fwrite(contents.data(), 1, contents.size(), file);
+    std::fclose(file);
+    if (written != contents.size())
+        fatal(msg("short write to '", path, "'"));
+}
+
+} // namespace xser::core

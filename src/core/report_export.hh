@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Machine-readable exports of campaign results (CSV), so downstream
+ * analysis (plotting the figures, regression tracking across runs)
+ * does not have to scrape the human-readable tables.
+ */
+
+#ifndef XSER_CORE_REPORT_EXPORT_HH
+#define XSER_CORE_REPORT_EXPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/test_session.hh"
+#include "volt/vmin_characterizer.hh"
+
+namespace xser::core {
+
+/**
+ * Sessions as CSV: one row per session with the Table 2 columns plus
+ * per-category event counts and FIT estimates (with 95 % CI bounds).
+ */
+std::string sessionsToCsv(const std::vector<SessionResult> &sessions);
+
+/**
+ * Per-workload slices as CSV: one row per (session, workload) with
+ * runs, fluence, upsets, and event counts (the Fig. 5 raw data).
+ */
+std::string workloadSlicesToCsv(
+    const std::vector<SessionResult> &sessions);
+
+/**
+ * Per-level EDAC tallies as CSV: one row per (session, level) with
+ * corrected/uncorrected counts and per-minute rates (Figs. 6/7).
+ */
+std::string edacLevelsToCsv(const std::vector<SessionResult> &sessions);
+
+/** A Vmin sweep as CSV (Fig. 4's raw data). */
+std::string sweepToCsv(const volt::VminSweepResult &sweep);
+
+/** Write a string to a file (fatal on I/O failure). */
+void writeFile(const std::string &path, const std::string &contents);
+
+} // namespace xser::core
+
+#endif // XSER_CORE_REPORT_EXPORT_HH

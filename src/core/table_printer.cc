@@ -1,0 +1,81 @@
+/**
+ * @file
+ * TablePrinter implementation.
+ */
+
+#include "core/table_printer.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace xser::core {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::toString() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t column = 0; column < headers_.size(); ++column) {
+        widths[column] = headers_[column].size();
+        for (const auto &row : rows_)
+            widths[column] = std::max(widths[column],
+                                      row[column].size());
+    }
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t column = 0; column < row.size(); ++column) {
+            os << row[column]
+               << std::string(widths[column] - row[column].size(), ' ');
+            os << (column + 1 < row.size() ? "  " : "");
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    size_t rule = 0;
+    for (size_t column = 0; column < widths.size(); ++column)
+        rule += widths[column] + (column + 1 < widths.size() ? 2 : 0);
+    os << std::string(rule, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+TablePrinter::fmt(double value, int precision)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+    return buffer;
+}
+
+std::string
+TablePrinter::sci(double value, int precision)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*E", precision, value);
+    return buffer;
+}
+
+std::string
+TablePrinter::pct(double fraction, int precision)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f%%", precision,
+                  100.0 * fraction);
+    return buffer;
+}
+
+} // namespace xser::core

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal aligned-column table formatter used by the campaign reports
+ * and the bench binaries.
+ */
+
+#ifndef XSER_CORE_TABLE_PRINTER_HH
+#define XSER_CORE_TABLE_PRINTER_HH
+
+#include <string>
+#include <vector>
+
+namespace xser::core {
+
+/**
+ * Accumulates rows and renders an aligned ASCII table.
+ */
+class TablePrinter
+{
+  public:
+    /** @param headers Column headers (fixes the column count). */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a row (padded/truncated to the column count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns and a header rule. */
+    std::string toString() const;
+
+    /** Format a double with fixed precision. */
+    static std::string fmt(double value, int precision = 3);
+
+    /** Format a double in scientific notation. */
+    static std::string sci(double value, int precision = 2);
+
+    /** Format a percentage. */
+    static std::string pct(double fraction, int precision = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace xser::core
+
+#endif // XSER_CORE_TABLE_PRINTER_HH

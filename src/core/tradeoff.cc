@@ -1,0 +1,108 @@
+/**
+ * @file
+ * EnergyReliabilityAnalyzer implementation.
+ */
+
+#include "core/tradeoff.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rad/fit_math.hh"
+#include "sim/logging.hh"
+
+namespace xser::core {
+
+EnergyReliabilityAnalyzer::EnergyReliabilityAnalyzer(
+    const volt::PowerModel *power, const LogicSusceptibilityModel *logic,
+    const TradeoffConfig &config)
+    : power_(power), logic_(logic), config_(config)
+{
+    XSER_ASSERT(power_ != nullptr, "analyzer needs a power model");
+    XSER_ASSERT(logic_ != nullptr, "analyzer needs a logic model");
+    if (config_.devices < 1.0)
+        fatal("fleet needs at least one device");
+    if (config_.checkpointSeconds <= 0.0)
+        fatal("checkpoint cost must be positive");
+}
+
+TradeoffPoint
+EnergyReliabilityAnalyzer::evaluate(
+    const volt::OperatingPoint &point) const
+{
+    TradeoffPoint out;
+    out.point = point;
+    out.powerWatts = power_->totalWatts(point);
+
+    const LogicDcs dcs =
+        logic_->rates(point.pmdVolts(), point.frequencyHz);
+    const double flux_hour = config_.environment.perHour();
+
+    // Crash channel: restartable, so checkpointing applies.
+    out.crashFit =
+        rad::fitFromDcs(dcs.appCrash + dcs.sysCrash, flux_hour);
+    const double fleet_crash_per_hour = out.crashFit * 1e-9 *
+                                        config_.devices *
+                                        config_.utilization;
+    out.fleetCrashMtbfHours =
+        fleet_crash_per_hour > 0.0 ? 1.0 / fleet_crash_per_hour : 1e18;
+
+    // Young's optimal checkpoint interval and first-order waste.
+    const double delta_hours = config_.checkpointSeconds / 3600.0;
+    out.optimalCheckpointHours =
+        std::sqrt(2.0 * delta_hours * out.fleetCrashMtbfHours);
+    out.wasteFraction =
+        delta_hours / out.optimalCheckpointHours +
+        out.optimalCheckpointHours / (2.0 * out.fleetCrashMtbfHours);
+    out.wasteFraction = std::min(out.wasteFraction, 1.0);
+
+    out.usefulWorkPerJoule =
+        (1.0 - out.wasteFraction) / std::max(out.powerWatts, 1e-9);
+
+    // SDC channel: silent, cannot be recovered by checkpointing.
+    const double sdc_fit =
+        rad::fitFromDcs(dcs.sdcSilent + dcs.sdcNotified, flux_hour);
+    out.sdcIncidentsPerYear = rad::expectedFailures(
+        sdc_fit, config_.devices * config_.utilization, 24.0 * 365.0);
+
+    out.energyPerYearMwh = out.powerWatts * config_.devices *
+                           config_.utilization * 24.0 * 365.0 / 1e6;
+    return out;
+}
+
+std::vector<TradeoffPoint>
+EnergyReliabilityAnalyzer::ladder(double stop_millivolts) const
+{
+    std::vector<TradeoffPoint> points;
+    for (double pmd = 980.0; pmd >= stop_millivolts - 0.5; pmd -= 10.0) {
+        const double soc =
+            std::max(920.0, 950.0 - (980.0 - pmd) / 2.0);
+        volt::OperatingPoint point{"ladder", pmd,
+                                   5.0 * std::round(soc / 5.0), 2.4e9};
+        point.name = point.label();
+        points.push_back(evaluate(point));
+    }
+    return points;
+}
+
+TradeoffPoint
+EnergyReliabilityAnalyzer::bestUnderSdcBudget(
+    double max_sdc_per_year) const
+{
+    const std::vector<TradeoffPoint> points = ladder();
+    XSER_ASSERT(!points.empty(), "empty ladder");
+    const TradeoffPoint *best = nullptr;
+    for (const auto &candidate : points) {
+        if (candidate.sdcIncidentsPerYear > max_sdc_per_year)
+            continue;
+        if (best == nullptr ||
+            candidate.usefulWorkPerJoule > best->usefulWorkPerJoule) {
+            best = &candidate;
+        }
+    }
+    // Nothing meets the budget: the nominal point is the fallback
+    // (tightest SDC rate on the ladder).
+    return best != nullptr ? *best : points.front();
+}
+
+} // namespace xser::core

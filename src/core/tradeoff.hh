@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Energy-vs-reliability trade-off analysis.
+ *
+ * The paper's introduction poses the open question directly: "it is
+ * unclear whether energy savings from reduced voltage margins outweigh
+ * the overhead of error recovery mechanisms." This analyzer answers it
+ * quantitatively for a checkpoint/restart deployment:
+ *
+ *  - crash rate lambda(V, f) comes from the calibrated logic model's
+ *    AppCrash+SysCrash cross sections at the deployment flux;
+ *  - the optimal checkpoint interval follows Young's first-order
+ *    formula tau* = sqrt(2 * delta * MTBF), with waste fraction
+ *    delta/tau + tau/(2*MTBF) + delta-restart amortization;
+ *  - SDCs cannot be checkpointed away (they are silent); they are
+ *    reported as expected incidents per year -- the quantity a cloud
+ *    operator must price (cf. [25],[34] in the paper);
+ *  - energy folds in the calibrated power model.
+ *
+ * The headline output is "energy saved per year vs SDC incidents per
+ * year" across the voltage ladder -- Design Implication #2 as a
+ * deployable policy curve.
+ */
+
+#ifndef XSER_CORE_TRADEOFF_HH
+#define XSER_CORE_TRADEOFF_HH
+
+#include <vector>
+
+#include "core/logic_susceptibility.hh"
+#include "rad/flux_environment.hh"
+#include "volt/operating_point.hh"
+#include "volt/power_model.hh"
+
+namespace xser::core {
+
+/** Deployment parameters. */
+struct TradeoffConfig {
+    double devices = 1.0;              ///< fleet size (jobs span it)
+    double checkpointSeconds = 30.0;   ///< cost of taking a checkpoint
+    rad::FluxEnvironment environment = rad::nycSeaLevel();
+    double utilization = 1.0;          ///< fraction of time running
+};
+
+/** Evaluation of one operating point. */
+struct TradeoffPoint {
+    volt::OperatingPoint point;
+    double powerWatts = 0.0;            ///< per device
+    double crashFit = 0.0;              ///< App+Sys, per device, at the
+                                        ///< deployment flux
+    double fleetCrashMtbfHours = 0.0;   ///< fleet-level MTBF
+    double optimalCheckpointHours = 0.0;
+    double wasteFraction = 0.0;         ///< checkpoint + rework waste
+    double usefulWorkPerJoule = 0.0;    ///< (1 - waste) / power
+    double sdcIncidentsPerYear = 0.0;   ///< fleet-level silent errors
+    double energyPerYearMwh = 0.0;      ///< fleet energy
+};
+
+/**
+ * Evaluates operating points against a deployment.
+ */
+class EnergyReliabilityAnalyzer
+{
+  public:
+    /**
+     * @param power Calibrated power model (not owned).
+     * @param logic Calibrated logic susceptibility model (not owned).
+     * @param config Deployment parameters.
+     */
+    EnergyReliabilityAnalyzer(const volt::PowerModel *power,
+                              const LogicSusceptibilityModel *logic,
+                              const TradeoffConfig &config = {});
+
+    const TradeoffConfig &config() const { return config_; }
+
+    /** Evaluate one operating point. */
+    TradeoffPoint evaluate(const volt::OperatingPoint &point) const;
+
+    /**
+     * Evaluate a PMD-voltage ladder at 2.4 GHz from nominal down to
+     * `stop_millivolts` in 10 mV steps (SoC tracking as in Table 3).
+     */
+    std::vector<TradeoffPoint> ladder(double stop_millivolts = 920.0)
+        const;
+
+    /**
+     * The point of the ladder with the best useful-work-per-joule,
+     * subject to an SDC budget (incidents/year across the fleet).
+     */
+    TradeoffPoint bestUnderSdcBudget(double max_sdc_per_year) const;
+
+  private:
+    const volt::PowerModel *power_;
+    const LogicSusceptibilityModel *logic_;
+    TradeoffConfig config_;
+};
+
+} // namespace xser::core
+
+#endif // XSER_CORE_TRADEOFF_HH

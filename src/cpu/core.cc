@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Core implementation.
+ */
+
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace xser::cpu {
+
+Core::Core(const CoreConfig &config, mem::MemorySystem *memory, Rng rng)
+    : config_(config), memory_(memory), rng_(rng)
+{
+    XSER_ASSERT(memory_ != nullptr, "core needs a memory system");
+    codeWords_ = memory_->l1i(config_.id).words();
+    tlbEntries_ = memory_->tlb(config_.id).words();
+}
+
+void
+Core::setFootprint(size_t code_words, size_t tlb_entries)
+{
+    const size_t l1i_words = memory_->l1i(config_.id).words();
+    const size_t tlb_words = memory_->tlb(config_.id).words();
+    codeWords_ = std::clamp<size_t>(code_words, 1, l1i_words);
+    tlbEntries_ = std::clamp<size_t>(tlb_entries, 1, tlb_words);
+}
+
+void
+Core::driveQuantum(uint64_t accesses)
+{
+    ifetchCarry_ += config_.ifetchTouchesPerAccess *
+                    static_cast<double>(accesses);
+    tlbCarry_ += config_.tlbTouchesPerAccess *
+                 static_cast<double>(accesses);
+
+    auto ifetch_due = static_cast<uint64_t>(ifetchCarry_);
+    auto tlb_due = static_cast<uint64_t>(tlbCarry_);
+    ifetchCarry_ -= static_cast<double>(ifetch_due);
+    tlbCarry_ -= static_cast<double>(tlb_due);
+
+    for (uint64_t i = 0; i < ifetch_due; ++i) {
+        const size_t index = rng_.nextBounded(codeWords_);
+        if (rng_.nextBool(config_.ifetchReplaceFraction))
+            memory_->l1i(config_.id).replace(
+                index % memory_->l1i(config_.id).words());
+        else
+            memory_->touchIFetch(config_.id, index);
+    }
+    for (uint64_t i = 0; i < tlb_due; ++i) {
+        const size_t index = rng_.nextBounded(tlbEntries_);
+        if (rng_.nextBool(config_.tlbReplaceFraction))
+            memory_->tlb(config_.id).replace(
+                index % memory_->tlb(config_.id).words());
+        else
+            memory_->touchTlb(config_.id, index);
+    }
+}
+
+} // namespace xser::cpu

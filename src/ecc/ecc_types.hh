@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared types for the error-protection codecs.
+ */
+
+#ifndef XSER_ECC_ECC_TYPES_HH
+#define XSER_ECC_ECC_TYPES_HH
+
+#include <cstdint>
+
+namespace xser::ecc {
+
+/** Outcome of checking a protected word. */
+enum class CheckStatus : uint8_t {
+    Clean,             ///< no error detected
+    CorrectedSingle,   ///< single-bit error detected and corrected
+    DetectedDouble,    ///< multi-bit error detected, not correctable
+    Miscorrected,      ///< decoder "corrected" the wrong bit (>= 3 flips
+                       ///< aliasing to a single-bit syndrome); the caller
+                       ///< cannot observe this in hardware -- the flag
+                       ///< exists so the simulator can ground-truth
+                       ///< Section 6.2's silent-corruption path
+    ParityError,       ///< parity mismatch (detection-only codes)
+};
+
+/** True when hardware would report the event as a corrected error. */
+constexpr bool
+reportsCorrected(CheckStatus status)
+{
+    // A miscorrection is indistinguishable from a genuine correction at
+    // the EDAC interface: hardware reports "corrected" either way.
+    return status == CheckStatus::CorrectedSingle ||
+           status == CheckStatus::Miscorrected;
+}
+
+/** True when hardware would report the event as uncorrected. */
+constexpr bool
+reportsUncorrected(CheckStatus status)
+{
+    return status == CheckStatus::DetectedDouble;
+}
+
+} // namespace xser::ecc
+
+#endif // XSER_ECC_ECC_TYPES_HH

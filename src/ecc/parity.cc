@@ -1,0 +1,32 @@
+/**
+ * @file
+ * ParityCodec implementation.
+ */
+
+#include "ecc/parity.hh"
+
+#include <bit>
+
+namespace xser::ecc {
+
+uint8_t
+ParityCodec::parityOf(uint64_t value)
+{
+    return static_cast<uint8_t>(std::popcount(value) & 1);
+}
+
+uint8_t
+ParityCodec::encode(uint64_t data)
+{
+    return parityOf(data);
+}
+
+CheckStatus
+ParityCodec::check(uint64_t data, uint8_t parity_bit)
+{
+    if (parityOf(data) == (parity_bit & 1))
+        return CheckStatus::Clean;
+    return CheckStatus::ParityError;
+}
+
+} // namespace xser::ecc

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Even-parity protection for detection-only SRAM arrays.
+ *
+ * X-Gene 2 protects its TLBs and L1 instruction/data caches with parity
+ * (Table 1 of the paper). A parity word detects any odd number of bit
+ * flips; an even number of flips escapes detection. Because the L1D is
+ * write-through and the L1I/TLBs are clean by construction, a detected
+ * parity error is repaired by invalidate-and-refetch, so single-bit upsets
+ * in these arrays never corrupt software state (Section 3.1).
+ */
+
+#ifndef XSER_ECC_PARITY_HH
+#define XSER_ECC_PARITY_HH
+
+#include <cstdint>
+
+#include "ecc/ecc_types.hh"
+
+namespace xser::ecc {
+
+/**
+ * Parity codec over 64-bit words. Stateless; stores nothing itself.
+ */
+class ParityCodec
+{
+  public:
+    /** Compute the even-parity bit over a data word. */
+    static uint8_t encode(uint64_t data);
+
+    /**
+     * Check a stored word against its stored parity bit.
+     *
+     * @return Clean when parity matches, ParityError otherwise.
+     */
+    static CheckStatus check(uint64_t data, uint8_t parity_bit);
+
+    /** Population-count parity of a 64-bit value (0 or 1). */
+    static uint8_t parityOf(uint64_t value);
+};
+
+} // namespace xser::ecc
+
+#endif // XSER_ECC_PARITY_HH

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * FaultSite helpers.
+ */
+
+#include "inject/fault_site.hh"
+
+#include "sim/logging.hh"
+
+namespace xser::inject {
+
+std::string
+describeSite(const std::vector<mem::BeamTarget> &targets,
+             const FaultSite &site)
+{
+    XSER_ASSERT(site.targetIndex < targets.size(),
+                "fault site target out of range");
+    const auto &target = targets[site.targetIndex];
+    return msg(target.array->name(), "[", site.word, "] bit ", site.bit);
+}
+
+} // namespace xser::inject

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fault-site addressing for targeted injection.
+ *
+ * Beam testing irradiates the whole chip (Section 3.4: "there is no
+ * way to contain faults within a limited set of hardware resources");
+ * microarchitecture-level fault injection does the opposite, picking
+ * sites deliberately. The campaign uses the beam; the injector here
+ * supports the complementary AVF-style studies the paper's Design
+ * Implication #3 recommends, plus deterministic tests.
+ */
+
+#ifndef XSER_INJECT_FAULT_SITE_HH
+#define XSER_INJECT_FAULT_SITE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/memory_system.hh"
+
+namespace xser::inject {
+
+/** One injectable bit in the platform's SRAM footprint. */
+struct FaultSite {
+    size_t targetIndex = 0;   ///< index into the beam-target list
+    size_t word = 0;          ///< word within the array
+    unsigned bit = 0;         ///< stored bit within the word
+
+    bool
+    operator==(const FaultSite &other) const
+    {
+        return targetIndex == other.targetIndex && word == other.word &&
+               bit == other.bit;
+    }
+};
+
+/** Human-readable description of a site against a target list. */
+std::string describeSite(const std::vector<mem::BeamTarget> &targets,
+                         const FaultSite &site);
+
+} // namespace xser::inject
+
+#endif // XSER_INJECT_FAULT_SITE_HH

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Cache implementation.
+ */
+
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace xser::mem {
+
+Cache::Cache(const CacheConfig &config, EdacReporter *reporter)
+    : config_(config),
+      geometry_(config.sizeBytes, config.lineBytes, config.associativity),
+      reporter_(reporter),
+      dataArray_(config.name + ".data",
+                 geometry_.numLines() * geometry_.wordsPerLine(),
+                 config.protection)
+{
+    XSER_ASSERT(reporter_ != nullptr, "cache needs an EDAC reporter");
+    meta_.resize(geometry_.numLines());
+}
+
+int
+Cache::findWay(Addr addr) const
+{
+    const size_t set = geometry_.setIndex(addr);
+    const Addr tag = geometry_.tag(addr);
+    for (unsigned way = 0; way < config_.associativity; ++way) {
+        const auto &line = meta_[set * config_.associativity + way];
+        if (line.valid && line.tag == tag)
+            return static_cast<int>(way);
+    }
+    return -1;
+}
+
+unsigned
+Cache::victimWay(size_t set) const
+{
+    unsigned victim = 0;
+    uint64_t oldest = UINT64_MAX;
+    for (unsigned way = 0; way < config_.associativity; ++way) {
+        const auto &line = meta_[set * config_.associativity + way];
+        if (!line.valid)
+            return way;
+        if (line.lastUse < oldest) {
+            oldest = line.lastUse;
+            victim = way;
+        }
+    }
+    return victim;
+}
+
+size_t
+Cache::lineWordBase(size_t set, unsigned way) const
+{
+    return (set * config_.associativity + way) * geometry_.wordsPerLine();
+}
+
+void
+Cache::postEdac(const ReadOutcome &outcome)
+{
+    if (ecc::reportsCorrected(outcome.status)) {
+        reporter_->post(now(), config_.level, EdacKind::Corrected,
+                        config_.name);
+    } else if (ecc::reportsUncorrected(outcome.status)) {
+        reporter_->post(now(), config_.level, EdacKind::Uncorrected,
+                        config_.name);
+    } else if (outcome.status == ecc::CheckStatus::ParityError &&
+               config_.writePolicy == WritePolicy::WriteBack) {
+        // Parity on a write-back array (ablation configuration only):
+        // detected but uncorrectable -- the dirty data has no second
+        // copy. Logged as a UE.
+        reporter_->post(now(), config_.level, EdacKind::Uncorrected,
+                        config_.name);
+    }
+    // In write-through arrays parity errors are posted by the recovery
+    // path in MemorySystem once the refetch succeeds (logged as
+    // corrected upsets there), so nothing to do for them here.
+}
+
+bool
+Cache::outcomeUncorrectable(const ReadOutcome &outcome) const
+{
+    if (ecc::reportsUncorrected(outcome.status))
+        return true;
+    return outcome.status == ecc::CheckStatus::ParityError &&
+           config_.writePolicy == WritePolicy::WriteBack;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return findWay(addr) >= 0;
+}
+
+bool
+Cache::isDirty(Addr addr) const
+{
+    const int way = findWay(addr);
+    if (way < 0)
+        return false;
+    const size_t set = geometry_.setIndex(addr);
+    return meta_[set * config_.associativity + way].dirty;
+}
+
+ReadOutcome
+Cache::readWord(Addr addr)
+{
+    const int way = findWay(addr);
+    XSER_ASSERT(way >= 0, msg("readWord miss in ", config_.name));
+    const size_t set = geometry_.setIndex(addr);
+    auto &line = meta_[set * config_.associativity + way];
+    line.lastUse = ++useCounter_;
+
+    const size_t index = lineWordBase(set, way) + geometry_.wordOffset(addr);
+    ReadOutcome outcome = dataArray_.read(index);
+    postEdac(outcome);
+    return outcome;
+}
+
+void
+Cache::writeWord(Addr addr, uint64_t value)
+{
+    const int way = findWay(addr);
+    XSER_ASSERT(way >= 0, msg("writeWord miss in ", config_.name));
+    const size_t set = geometry_.setIndex(addr);
+    auto &line = meta_[set * config_.associativity + way];
+    line.lastUse = ++useCounter_;
+    if (config_.writePolicy == WritePolicy::WriteBack)
+        line.dirty = true;
+
+    const size_t index = lineWordBase(set, way) + geometry_.wordOffset(addr);
+    dataArray_.write(index, value);
+}
+
+bool
+Cache::readLine(Addr addr, std::vector<uint64_t> &out)
+{
+    const int way = findWay(addr);
+    XSER_ASSERT(way >= 0, msg("readLine miss in ", config_.name));
+    const size_t set = geometry_.setIndex(addr);
+    auto &line = meta_[set * config_.associativity + way];
+    line.lastUse = ++useCounter_;
+
+    const size_t base = lineWordBase(set, way);
+    const size_t words = geometry_.wordsPerLine();
+    out.resize(words);
+    bool uncorrectable = false;
+    for (size_t i = 0; i < words; ++i) {
+        ReadOutcome outcome = dataArray_.read(base + i);
+        postEdac(outcome);
+        if (outcomeUncorrectable(outcome))
+            uncorrectable = true;
+        out[i] = outcome.value;
+    }
+    return uncorrectable;
+}
+
+EvictedLine
+Cache::allocate(Addr addr, const std::vector<uint64_t> &line, bool dirty)
+{
+    XSER_ASSERT(line.size() == geometry_.wordsPerLine(),
+                "allocate with wrong line length");
+    const size_t set = geometry_.setIndex(addr);
+    XSER_ASSERT(findWay(addr) < 0,
+                msg("allocate of already-present line in ", config_.name));
+
+    const unsigned way = victimWay(set);
+    auto &slot = meta_[set * config_.associativity + way];
+
+    EvictedLine evicted;
+    if (slot.valid) {
+        ++stats_.evictions;
+        evicted.valid = true;
+        evicted.dirty = slot.dirty;
+        evicted.address = geometry_.lineAddress(slot.tag, set);
+        if (slot.dirty) {
+            // Checked read-out: a writeback passes through the codec.
+            const size_t base = lineWordBase(set, way);
+            const size_t words = geometry_.wordsPerLine();
+            evicted.data.resize(words);
+            for (size_t i = 0; i < words; ++i) {
+                ReadOutcome outcome = dataArray_.read(base + i);
+                postEdac(outcome);
+                if (outcomeUncorrectable(outcome))
+                    evicted.hadUncorrectable = true;
+                evicted.data[i] = outcome.value;
+            }
+            ++stats_.writebacks;
+        }
+    }
+
+    slot.tag = geometry_.tag(addr);
+    slot.valid = true;
+    slot.dirty = dirty;
+    slot.lastUse = ++useCounter_;
+
+    const size_t base = lineWordBase(set, way);
+    for (size_t i = 0; i < line.size(); ++i)
+        dataArray_.write(base + i, line[i]);
+    return evicted;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    const int way = findWay(addr);
+    if (way < 0)
+        return;
+    const size_t set = geometry_.setIndex(addr);
+    meta_[set * config_.associativity + way].valid = false;
+    meta_[set * config_.associativity + way].dirty = false;
+    ++stats_.invalidations;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &line : meta_) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+Cache::ScrubResult
+Cache::scrubLine(size_t line_index)
+{
+    XSER_ASSERT(line_index < meta_.size(), "scrub index out of range");
+    ScrubResult result;
+    auto &slot = meta_[line_index];
+    if (!slot.valid)
+        return result;
+    result.scanned = true;
+    result.dirty = slot.dirty;
+
+    const size_t set = line_index / config_.associativity;
+    const unsigned way =
+        static_cast<unsigned>(line_index % config_.associativity);
+    result.address = geometry_.lineAddress(slot.tag, set);
+
+    const size_t base = lineWordBase(set, way);
+    const size_t words = geometry_.wordsPerLine();
+    result.data.resize(words);
+    for (size_t i = 0; i < words; ++i) {
+        ReadOutcome outcome = dataArray_.read(base + i);
+        postEdac(outcome);
+        if (outcomeUncorrectable(outcome))
+            result.uncorrectable = true;
+        result.data[i] = outcome.value;
+    }
+    if (result.uncorrectable) {
+        // Poisoned line: drop it so it cannot re-report every pass. The
+        // owner writes dirty data (corrupt as it is) downstream.
+        slot.valid = false;
+        slot.dirty = false;
+        ++stats_.invalidations;
+    }
+    return result;
+}
+
+std::vector<std::pair<Addr, std::vector<uint64_t>>>
+Cache::drainAll()
+{
+    std::vector<std::pair<Addr, std::vector<uint64_t>>> dirty_lines;
+    for (size_t index = 0; index < meta_.size(); ++index) {
+        auto &slot = meta_[index];
+        if (!slot.valid)
+            continue;
+        if (slot.dirty) {
+            const size_t set = index / config_.associativity;
+            const unsigned way =
+                static_cast<unsigned>(index % config_.associativity);
+            const size_t base = lineWordBase(set, way);
+            const size_t words = geometry_.wordsPerLine();
+            std::vector<uint64_t> data(words);
+            for (size_t i = 0; i < words; ++i) {
+                ReadOutcome outcome = dataArray_.read(base + i);
+                postEdac(outcome);
+                data[i] = outcome.value;
+            }
+            dirty_lines.emplace_back(
+                geometry_.lineAddress(slot.tag, set), std::move(data));
+            ++stats_.writebacks;
+        }
+        slot.valid = false;
+        slot.dirty = false;
+    }
+    return dirty_lines;
+}
+
+double
+Cache::occupancy() const
+{
+    size_t valid = 0;
+    for (const auto &line : meta_)
+        valid += line.valid ? 1 : 0;
+    return static_cast<double>(valid) /
+           static_cast<double>(meta_.size());
+}
+
+} // namespace xser::mem

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Set-associative cache with a bit-true protected data array.
+ *
+ * The cache stores line data in an SramArray, so beam-injected flips live
+ * in genuine storage and every read-out passes through the protection
+ * codec. Recovery *policy* (parity refetch, clean-line reload) lives in
+ * MemorySystem, which owns the hierarchy; this class provides the
+ * mechanisms: probe, checked word/line access, allocate-with-eviction,
+ * and invalidation.
+ */
+
+#ifndef XSER_MEM_CACHE_HH
+#define XSER_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/cache_geometry.hh"
+#include "mem/edac_reporter.hh"
+#include "mem/sram_array.hh"
+
+namespace xser::mem {
+
+/** Write policy of a cache level. */
+enum class WritePolicy : uint8_t {
+    WriteThrough,  ///< L1D on X-Gene 2: lower level always has truth
+    WriteBack,     ///< L2/L3: dirty lines only exist here
+};
+
+/** Static configuration of one cache. */
+struct CacheConfig {
+    std::string name;           ///< e.g. "l2.0"
+    size_t sizeBytes = 0;
+    size_t lineBytes = 64;
+    unsigned associativity = 8;
+    Protection protection = Protection::Secded;
+    WritePolicy writePolicy = WritePolicy::WriteBack;
+    CacheLevel level = CacheLevel::L2;
+};
+
+/** Victim line handed back by allocate(). */
+struct EvictedLine {
+    bool valid = false;          ///< a line was evicted
+    bool dirty = false;          ///< it needs writing back
+    Addr address = 0;            ///< base address of the victim line
+    std::vector<uint64_t> data;  ///< victim data (checked read-out)
+    bool hadUncorrectable = false; ///< a UE fired while reading it out
+};
+
+/** Hit/miss and protection statistics for one cache. */
+struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t writebacks = 0;
+    uint64_t invalidations = 0;
+};
+
+/**
+ * One cache level instance. See file comment for the policy split
+ * between this class and MemorySystem.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param config Geometry, protection, and policy.
+     * @param reporter EDAC sink for CE/UE events (may not be null).
+     */
+    Cache(const CacheConfig &config, EdacReporter *reporter);
+
+    const std::string &name() const { return config_.name; }
+    const CacheConfig &config() const { return config_; }
+    const CacheGeometry &geometry() const { return geometry_; }
+    const CacheStats &stats() const { return stats_; }
+
+    /** The protected data array (exposed for beam targeting). */
+    SramArray &dataArray() { return dataArray_; }
+    const SramArray &dataArray() const { return dataArray_; }
+
+    /** Set the simulated-time source used to timestamp EDAC events. */
+    void setTimeSource(const Tick *now) { now_ = now; }
+
+    /** True when the line containing addr is present. */
+    bool contains(Addr addr) const;
+
+    /** True when the line containing addr is present and dirty. */
+    bool isDirty(Addr addr) const;
+
+    /**
+     * Checked read of the 64-bit word at addr; the line must be present.
+     * CE/UE events are posted to the reporter. Status reflects the
+     * protection verdict, including ground-truthed miscorrection.
+     */
+    ReadOutcome readWord(Addr addr);
+
+    /**
+     * Write the word at addr; the line must be present. Marks the line
+     * dirty under write-back policy.
+     */
+    void writeWord(Addr addr, uint64_t value);
+
+    /**
+     * Checked read-out of the full line containing addr (for fills to an
+     * upper level or writebacks). The line must be present.
+     *
+     * @param out Receives wordsPerLine() words.
+     * @return true when any word raised an uncorrectable error.
+     */
+    bool readLine(Addr addr, std::vector<uint64_t> &out);
+
+    /**
+     * Install a line (write-allocate or fill).
+     *
+     * @param addr Any address within the line.
+     * @param line wordsPerLine() words of data.
+     * @param dirty Install state (true for write-allocate in WB caches).
+     * @return The evicted victim, if one had to make room.
+     */
+    EvictedLine allocate(Addr addr, const std::vector<uint64_t> &line,
+                         bool dirty);
+
+    /** Drop the line containing addr if present (no writeback). */
+    void invalidate(Addr addr);
+
+    /** Drop every line (no writebacks); keeps injected-flip counters. */
+    void invalidateAll();
+
+    /** Fraction of lines currently valid, for occupancy diagnostics. */
+    double occupancy() const;
+
+    /** Hit/miss accounting (driven by the hierarchy owner). */
+    void recordHit() { ++stats_.hits; }
+    void recordMiss() { ++stats_.misses; }
+
+    /** Result of scrubbing one line slot. */
+    struct ScrubResult {
+        bool scanned = false;         ///< slot held a valid line
+        bool uncorrectable = false;   ///< a UE was found in it
+        bool dirty = false;           ///< it was dirty (needs writeback)
+        Addr address = 0;             ///< line base address
+        std::vector<uint64_t> data;   ///< read-out data (when dirty UE)
+    };
+
+    /**
+     * Patrol-scrub one line slot (index in [0, numLines)): checked read
+     * of every word, repairing correctable errors in place. On an
+     * uncorrectable error the line is invalidated so it cannot keep
+     * re-reporting; dirty victims hand their (corrupt) data back for
+     * writeback by the owner.
+     */
+    ScrubResult scrubLine(size_t line_index);
+
+    /**
+     * Read out (checked) every dirty line and invalidate everything.
+     * Used to flush between characterization phases.
+     *
+     * @return (address, data) pairs that must be written downstream.
+     */
+    std::vector<std::pair<Addr, std::vector<uint64_t>>> drainAll();
+
+    /** Total SRAM bits of the data array (beam footprint). */
+    uint64_t footprintBits() const { return dataArray_.totalBits(); }
+
+  private:
+    /** Way holding addr, or -1. */
+    int findWay(Addr addr) const;
+
+    /** Victim way in addr's set (invalid way first, else LRU). */
+    unsigned victimWay(size_t set) const;
+
+    /** Base index of a line's words in the data array. */
+    size_t lineWordBase(size_t set, unsigned way) const;
+
+    /** Post an EDAC event matching a read outcome, if any. */
+    void postEdac(const ReadOutcome &outcome);
+
+    /** True when an outcome leaves the word uncorrectably wrong. */
+    bool outcomeUncorrectable(const ReadOutcome &outcome) const;
+
+    /** Current simulated time for event timestamps. */
+    Tick now() const { return now_ ? *now_ : 0; }
+
+    CacheConfig config_;
+    CacheGeometry geometry_;
+    EdacReporter *reporter_;
+    SramArray dataArray_;
+    const Tick *now_ = nullptr;
+
+    struct LineMeta {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint64_t lastUse = 0;
+    };
+    std::vector<LineMeta> meta_;  ///< numSets * associativity entries
+    uint64_t useCounter_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace xser::mem
+
+#endif // XSER_MEM_CACHE_HH

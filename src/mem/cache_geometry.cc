@@ -1,0 +1,35 @@
+/**
+ * @file
+ * CacheGeometry implementation.
+ */
+
+#include "mem/cache_geometry.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace xser::mem {
+
+CacheGeometry::CacheGeometry(size_t size_bytes, size_t line_bytes,
+                             unsigned associativity)
+    : sizeBytes_(size_bytes), lineBytes_(line_bytes),
+      associativity_(associativity)
+{
+    if (!std::has_single_bit(line_bytes) || line_bytes < 8)
+        fatal(msg("line size must be a power of two >= 8, got ",
+                  line_bytes));
+    if (associativity == 0)
+        fatal("associativity must be positive");
+    if (size_bytes == 0 || size_bytes % (line_bytes * associativity) != 0)
+        fatal(msg("cache size ", size_bytes,
+                  " is not a multiple of line*ways"));
+    numSets_ = size_bytes / (line_bytes * associativity);
+    if (!std::has_single_bit(numSets_))
+        fatal(msg("number of sets must be a power of two, got ", numSets_));
+    lineShift_ = static_cast<unsigned>(std::countr_zero(lineBytes_));
+    tagShift_ = lineShift_ +
+                static_cast<unsigned>(std::countr_zero(numSets_));
+}
+
+} // namespace xser::mem

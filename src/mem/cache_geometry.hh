@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Cache geometry: size/associativity/line math and address slicing.
+ */
+
+#ifndef XSER_MEM_CACHE_GEOMETRY_HH
+#define XSER_MEM_CACHE_GEOMETRY_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace xser::mem {
+
+/** Physical address type. */
+using Addr = uint64_t;
+
+/**
+ * Geometry of a set-associative cache with power-of-two sets and lines.
+ */
+class CacheGeometry
+{
+  public:
+    /**
+     * @param size_bytes Total data capacity.
+     * @param line_bytes Line size (power of two, default 64).
+     * @param associativity Ways per set.
+     */
+    CacheGeometry(size_t size_bytes, size_t line_bytes,
+                  unsigned associativity);
+
+    size_t sizeBytes() const { return sizeBytes_; }
+    size_t lineBytes() const { return lineBytes_; }
+    unsigned associativity() const { return associativity_; }
+    size_t numSets() const { return numSets_; }
+    size_t numLines() const { return numSets_ * associativity_; }
+
+    /** 64-bit words per line. */
+    size_t wordsPerLine() const { return lineBytes_ / 8; }
+
+    /** Set index of an address. */
+    size_t setIndex(Addr addr) const
+    {
+        return (addr >> lineShift_) & (numSets_ - 1);
+    }
+
+    /** Tag of an address. */
+    Addr tag(Addr addr) const { return addr >> tagShift_; }
+
+    /** Address of the first byte of the line containing addr. */
+    Addr lineBase(Addr addr) const { return addr & ~(lineBytes_ - 1); }
+
+    /** Word offset (0..wordsPerLine-1) of addr within its line. */
+    size_t wordOffset(Addr addr) const
+    {
+        return (addr & (lineBytes_ - 1)) >> 3;
+    }
+
+    /** Reconstruct a line base address from tag and set. */
+    Addr lineAddress(Addr tag, size_t set) const
+    {
+        return (tag << tagShift_) | (static_cast<Addr>(set) << lineShift_);
+    }
+
+  private:
+    size_t sizeBytes_;
+    size_t lineBytes_;
+    unsigned associativity_;
+    size_t numSets_;
+    unsigned lineShift_;
+    unsigned tagShift_;
+};
+
+} // namespace xser::mem
+
+#endif // XSER_MEM_CACHE_GEOMETRY_HH

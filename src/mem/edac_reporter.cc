@@ -1,0 +1,60 @@
+/**
+ * @file
+ * EdacReporter implementation.
+ */
+
+#include "mem/edac_reporter.hh"
+
+namespace xser::mem {
+
+const char *
+cacheLevelName(CacheLevel level)
+{
+    switch (level) {
+      case CacheLevel::Tlb: return "TLBs";
+      case CacheLevel::L1: return "L1 Cache";
+      case CacheLevel::L2: return "L2 Cache";
+      case CacheLevel::L3: return "L3 Cache";
+    }
+    return "unknown";
+}
+
+void
+EdacReporter::post(Tick when, CacheLevel level, EdacKind kind,
+                   const std::string &source)
+{
+    auto &tally = tallies_[static_cast<size_t>(level)];
+    if (kind == EdacKind::Corrected)
+        ++tally.corrected;
+    else
+        ++tally.uncorrected;
+    if (keepLog_)
+        log_.push_back(EdacEvent{when, level, kind, source});
+}
+
+uint64_t
+EdacReporter::totalCorrected() const
+{
+    uint64_t total = 0;
+    for (const auto &tally : tallies_)
+        total += tally.corrected;
+    return total;
+}
+
+uint64_t
+EdacReporter::totalUncorrected() const
+{
+    uint64_t total = 0;
+    for (const auto &tally : tallies_)
+        total += tally.uncorrected;
+    return total;
+}
+
+void
+EdacReporter::clear()
+{
+    tallies_ = {};
+    log_.clear();
+}
+
+} // namespace xser::mem

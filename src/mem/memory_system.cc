@@ -1,0 +1,421 @@
+/**
+ * @file
+ * MemorySystem implementation.
+ */
+
+#include "mem/memory_system.hh"
+
+#include "sim/logging.hh"
+
+namespace xser::mem {
+
+namespace {
+
+constexpr Addr pageBytes = 4096;
+constexpr size_t pageWords = pageBytes / 8;
+
+inline Addr
+pageBase(Addr addr)
+{
+    return addr & ~(pageBytes - 1);
+}
+
+} // namespace
+
+MemorySystem::MemorySystem(const MemorySystemConfig &config,
+                           EdacReporter *reporter)
+    : config_(config), reporter_(reporter)
+{
+    XSER_ASSERT(reporter_ != nullptr, "memory system needs a reporter");
+    if (config_.numCores == 0 || config_.numCores % 2 != 0)
+        fatal(msg("core count must be a positive even number, got ",
+                  config_.numCores));
+
+    for (unsigned core = 0; core < config_.numCores; ++core) {
+        CacheConfig l1;
+        l1.name = msg("l1d.", core);
+        l1.sizeBytes = config_.l1dBytes;
+        l1.lineBytes = config_.lineBytes;
+        l1.associativity = config_.l1dAssociativity;
+        l1.protection = config_.l1Protection;
+        l1.writePolicy = WritePolicy::WriteThrough;
+        l1.level = CacheLevel::L1;
+        l1d_.push_back(std::make_unique<Cache>(l1, reporter_));
+
+        l1i_.push_back(std::make_unique<RefetchableArray>(
+            msg("l1i.", core), config_.l1iBytes / 8, CacheLevel::L1,
+            reporter_, config_.contentSeed ^ (0x1111ULL * (core + 1))));
+        tlb_.push_back(std::make_unique<RefetchableArray>(
+            msg("tlb.", core), config_.tlbWordsPerCore, CacheLevel::Tlb,
+            reporter_, config_.contentSeed ^ (0x2222ULL * (core + 1))));
+    }
+
+    const unsigned pairs = config_.numCores / 2;
+    for (unsigned pair = 0; pair < pairs; ++pair) {
+        CacheConfig l2;
+        l2.name = msg("l2.", pair);
+        l2.sizeBytes = config_.l2Bytes;
+        l2.lineBytes = config_.lineBytes;
+        l2.associativity = config_.l2Associativity;
+        l2.protection = config_.l2Protection;
+        l2.writePolicy = WritePolicy::WriteBack;
+        l2.level = CacheLevel::L2;
+        l2_.push_back(std::make_unique<Cache>(l2, reporter_));
+    }
+
+    CacheConfig l3;
+    l3.name = "l3";
+    l3.sizeBytes = config_.l3Bytes;
+    l3.lineBytes = config_.lineBytes;
+    l3.associativity = config_.l3Associativity;
+    l3.protection = config_.l3Protection;
+    l3.writePolicy = WritePolicy::WriteBack;
+    l3.level = CacheLevel::L3;
+    l3_ = std::make_unique<Cache>(l3, reporter_);
+}
+
+void
+MemorySystem::setTimeSource(const Tick *now)
+{
+    now_ = now;
+    for (auto &cache : l1d_)
+        cache->setTimeSource(now);
+    for (auto &cache : l2_)
+        cache->setTimeSource(now);
+    l3_->setTimeSource(now);
+    for (auto &array : l1i_)
+        array->setTimeSource(now);
+    for (auto &array : tlb_)
+        array->setTimeSource(now);
+}
+
+Cache &
+MemorySystem::l1d(unsigned core)
+{
+    XSER_ASSERT(core < l1d_.size(), "core index out of range");
+    return *l1d_[core];
+}
+
+Cache &
+MemorySystem::l2(unsigned pair)
+{
+    XSER_ASSERT(pair < l2_.size(), "pair index out of range");
+    return *l2_[pair];
+}
+
+RefetchableArray &
+MemorySystem::l1i(unsigned core)
+{
+    XSER_ASSERT(core < l1i_.size(), "core index out of range");
+    return *l1i_[core];
+}
+
+RefetchableArray &
+MemorySystem::tlb(unsigned core)
+{
+    XSER_ASSERT(core < tlb_.size(), "core index out of range");
+    return *tlb_[core];
+}
+
+Addr
+MemorySystem::allocate(size_t bytes, const std::string &tag)
+{
+    if (bytes == 0)
+        fatal(msg("zero-byte allocation for '", tag, "'"));
+    const Addr base = heapNext_;
+    heapNext_ = (heapNext_ + bytes + config_.lineBytes - 1) &
+                ~static_cast<Addr>(config_.lineBytes - 1);
+    return base;
+}
+
+void
+MemorySystem::resetHeap()
+{
+    dramPages_.clear();
+    heapNext_ = 0x10000;
+    for (auto &cache : l1d_)
+        cache->invalidateAll();
+    for (auto &cache : l2_)
+        cache->invalidateAll();
+    l3_->invalidateAll();
+}
+
+uint64_t *
+MemorySystem::dramWordSlot(Addr addr)
+{
+    auto &page = dramPages_[pageBase(addr)];
+    if (page.empty())
+        page.assign(pageWords, 0);
+    return &page[(addr & (pageBytes - 1)) >> 3];
+}
+
+void
+MemorySystem::dramReadLine(Addr line_addr, std::vector<uint64_t> &out)
+{
+    const size_t words = config_.lineBytes / 8;
+    out.resize(words);
+    for (size_t i = 0; i < words; ++i)
+        out[i] = *dramWordSlot(line_addr + 8 * i);
+}
+
+void
+MemorySystem::dramWriteLine(Addr line_addr,
+                            const std::vector<uint64_t> &line)
+{
+    for (size_t i = 0; i < line.size(); ++i)
+        *dramWordSlot(line_addr + 8 * i) = line[i];
+}
+
+void
+MemorySystem::snoopOtherL2s(unsigned writing_pair, Addr line_addr)
+{
+    for (unsigned pair = 0; pair < l2_.size(); ++pair) {
+        if (pair == writing_pair)
+            continue;
+        Cache &other = *l2_[pair];
+        if (!other.contains(line_addr))
+            continue;
+        if (other.isDirty(line_addr)) {
+            std::vector<uint64_t> line;
+            other.readLine(line_addr, line);
+            writeLineToL3(line_addr, line);
+        }
+        other.invalidate(line_addr);
+    }
+}
+
+void
+MemorySystem::installL3(Addr line_addr, const std::vector<uint64_t> &line,
+                        bool dirty)
+{
+    EvictedLine victim = l3_->allocate(line_addr, line, dirty);
+    if (victim.valid && victim.dirty)
+        dramWriteLine(victim.address, victim.data);
+}
+
+void
+MemorySystem::writeLineToL3(Addr line_addr,
+                            const std::vector<uint64_t> &line)
+{
+    if (l3_->contains(line_addr)) {
+        for (size_t i = 0; i < line.size(); ++i)
+            l3_->writeWord(line_addr + 8 * i, line[i]);
+        return;
+    }
+    installL3(line_addr, line, true);
+}
+
+void
+MemorySystem::readLineFromL3(Addr line_addr, std::vector<uint64_t> &out)
+{
+    cycles_ += config_.l3HitCycles;
+    if (!l3_->contains(line_addr)) {
+        l3_->recordMiss();
+        cycles_ += config_.dramCycles;
+        dramReadLine(line_addr, out);
+        installL3(line_addr, out, false);
+        return;
+    }
+    l3_->recordHit();
+    const bool uncorrectable = l3_->readLine(line_addr, out);
+    if (uncorrectable) {
+        if (!l3_->isDirty(line_addr)) {
+            // Clean poisoned line: DRAM still has the truth.
+            l3_->invalidate(line_addr);
+            cycles_ += config_.dramCycles;
+            dramReadLine(line_addr, out);
+            installL3(line_addr, out, false);
+        } else {
+            // Dirty poisoned line: nothing better exists; the corrupt
+            // data propagates (possible SDC downstream).
+            ++delivery_.dirtyUeDeliveries;
+        }
+    }
+}
+
+void
+MemorySystem::installL2(unsigned pair, Addr line_addr,
+                        const std::vector<uint64_t> &line, bool dirty)
+{
+    EvictedLine victim = l2_[pair]->allocate(line_addr, line, dirty);
+    if (victim.valid && victim.dirty)
+        writeLineToL3(victim.address, victim.data);
+}
+
+void
+MemorySystem::readLineFromL2(unsigned core, Addr line_addr,
+                             std::vector<uint64_t> &out)
+{
+    const unsigned pair = core / 2;
+    Cache &cache = *l2_[pair];
+    cycles_ += config_.l2HitCycles;
+    if (!cache.contains(line_addr)) {
+        cache.recordMiss();
+        // A sibling pair may hold a newer dirty copy; push it to L3
+        // before reading the L3 level.
+        snoopOtherL2s(pair, line_addr);
+        readLineFromL3(line_addr, out);
+        installL2(pair, line_addr, out, false);
+        return;
+    }
+    cache.recordHit();
+    const bool uncorrectable = cache.readLine(line_addr, out);
+    if (uncorrectable) {
+        if (!cache.isDirty(line_addr)) {
+            cache.invalidate(line_addr);
+            readLineFromL3(line_addr, out);
+            installL2(pair, line_addr, out, false);
+        } else {
+            ++delivery_.dirtyUeDeliveries;
+        }
+    }
+}
+
+uint64_t
+MemorySystem::readWord(unsigned core, Addr addr)
+{
+    XSER_ASSERT((addr & 7) == 0, "word access must be 8-byte aligned");
+    ++accesses_;
+    cycles_ += config_.l1HitCycles;
+
+    Cache &l1 = *l1d_[core];
+    const Addr line_addr = l1.geometry().lineBase(addr);
+    const size_t offset = l1.geometry().wordOffset(addr);
+
+    if (l1.contains(addr)) {
+        l1.recordHit();
+        ReadOutcome outcome = l1.readWord(addr);
+        if (outcome.status != ecc::CheckStatus::ParityError)
+            return outcome.value;
+        // Parity error: invalidate + refetch; write-through means the
+        // level below is authoritative, so this is always recoverable.
+        l1.invalidate(addr);
+        reporter_->post(now_ ? *now_ : 0, CacheLevel::L1,
+                        EdacKind::Corrected, l1.name());
+        ++delivery_.parityRefetches;
+    } else {
+        l1.recordMiss();
+    }
+
+    readLineFromL2(core, line_addr, lineScratch_);
+    l1.allocate(addr, lineScratch_, false);
+    return lineScratch_[offset];
+}
+
+void
+MemorySystem::writeWord(unsigned core, Addr addr, uint64_t value)
+{
+    XSER_ASSERT((addr & 7) == 0, "word access must be 8-byte aligned");
+    ++accesses_;
+    cycles_ += config_.l1HitCycles;
+
+    Cache &l1 = *l1d_[core];
+    const Addr line_addr = l1.geometry().lineBase(addr);
+
+    if (l1.contains(addr))
+        l1.writeWord(addr, value);
+
+    // Write-invalidate coherence over the other cores' L1Ds.
+    for (unsigned other = 0; other < l1d_.size(); ++other) {
+        if (other != core && l1d_[other]->contains(addr))
+            l1d_[other]->invalidate(addr);
+    }
+
+    // Write-through into the (write-back, write-allocate) L2.
+    const unsigned pair = core / 2;
+    snoopOtherL2s(pair, line_addr);
+    Cache &cache = *l2_[pair];
+    if (!cache.contains(addr)) {
+        cache.recordMiss();
+        readLineFromL3(line_addr, lineScratch_);
+        installL2(pair, line_addr, lineScratch_, false);
+    } else {
+        cache.recordHit();
+    }
+    cache.writeWord(addr, value);
+}
+
+void
+MemorySystem::touchIFetch(unsigned core, size_t word_index)
+{
+    RefetchableArray &array = *l1i_[core];
+    array.touch(word_index % array.words());
+}
+
+void
+MemorySystem::touchTlb(unsigned core, size_t word_index)
+{
+    RefetchableArray &array = *tlb_[core];
+    array.touch(word_index % array.words());
+}
+
+void
+MemorySystem::scrub(size_t l2_lines, size_t l3_lines)
+{
+    const size_t l2_total = l2_.empty() ? 0
+        : l2_[0]->geometry().numLines();
+    for (size_t step = 0; step < l2_lines && l2_total > 0; ++step) {
+        const size_t index = l2ScrubCursor_;
+        l2ScrubCursor_ = (l2ScrubCursor_ + 1) % l2_total;
+        for (auto &cache : l2_) {
+            Cache::ScrubResult result = cache->scrubLine(index);
+            if (result.uncorrectable && result.dirty)
+                writeLineToL3(result.address, result.data);
+        }
+    }
+    const size_t l3_total = l3_->geometry().numLines();
+    for (size_t step = 0; step < l3_lines && l3_total > 0; ++step) {
+        const size_t index = l3ScrubCursor_;
+        l3ScrubCursor_ = (l3ScrubCursor_ + 1) % l3_total;
+        Cache::ScrubResult result = l3_->scrubLine(index);
+        if (result.uncorrectable && result.dirty)
+            dramWriteLine(result.address, result.data);
+    }
+}
+
+void
+MemorySystem::flushAll()
+{
+    for (auto &cache : l1d_)
+        cache->invalidateAll();  // write-through: never dirty
+    for (auto &cache : l2_) {
+        for (auto &[addr, line] : cache->drainAll())
+            writeLineToL3(addr, line);
+    }
+    for (auto &[addr, line] : l3_->drainAll())
+        dramWriteLine(addr, line);
+}
+
+std::vector<BeamTarget>
+MemorySystem::beamTargets()
+{
+    std::vector<BeamTarget> targets;
+    for (auto &array : l1i_)
+        targets.push_back({&array->array(), CacheLevel::L1, true});
+    for (auto &cache : l1d_)
+        targets.push_back({&cache->dataArray(), CacheLevel::L1, true});
+    for (auto &array : tlb_)
+        targets.push_back({&array->array(), CacheLevel::Tlb, true});
+    for (auto &cache : l2_)
+        targets.push_back({&cache->dataArray(), CacheLevel::L2, true});
+    targets.push_back({&l3_->dataArray(), CacheLevel::L3, false});
+    return targets;
+}
+
+uint64_t
+MemorySystem::totalSramBits() const
+{
+    uint64_t bits = 0;
+    for (const auto &array : l1i_)
+        bits += array->array().totalBits();
+    for (const auto &cache : l1d_)
+        bits += cache->dataArray().totalBits();
+    for (const auto &array : tlb_)
+        bits += array->array().totalBits();
+    for (const auto &cache : l2_)
+        bits += cache->dataArray().totalBits();
+    bits += l3_->dataArray().totalBits();
+    return bits;
+}
+
+} // namespace xser::mem

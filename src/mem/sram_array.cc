@@ -1,0 +1,217 @@
+/**
+ * @file
+ * SramArray implementation.
+ */
+
+#include "mem/sram_array.hh"
+
+#include <algorithm>
+
+#include "ecc/parity.hh"
+#include "sim/logging.hh"
+
+namespace xser::mem {
+
+const char *
+protectionName(Protection protection)
+{
+    switch (protection) {
+      case Protection::None: return "none";
+      case Protection::Parity: return "parity";
+      case Protection::Secded: return "secded";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** Check-bit count per word for a protection scheme. */
+unsigned
+checkBitsFor(Protection protection)
+{
+    switch (protection) {
+      case Protection::None: return 0;
+      case Protection::Parity: return 1;
+      case Protection::Secded: return ecc::SecdedCodec::checkBits;
+    }
+    return 0;
+}
+
+} // namespace
+
+SramArray::SramArray(std::string name, size_t words, Protection protection)
+    : name_(std::move(name)), protection_(protection),
+      bitsPerWord_(64 + checkBitsFor(protection))
+{
+    if (words == 0)
+        fatal(msg("SRAM array '", name_, "' must have at least one word"));
+    data_.assign(words, 0);
+    check_.assign(words, 0);
+    shadow_.assign(words, 0);
+    // Zero truth still needs consistent check bits.
+    if (protection_ == Protection::Secded) {
+        const uint8_t zero_check = ecc::SecdedCodec::encode(0);
+        std::fill(check_.begin(), check_.end(), zero_check);
+    }
+}
+
+void
+SramArray::write(size_t index, uint64_t value)
+{
+    XSER_ASSERT(index < data_.size(), "SRAM write out of range");
+    if (isCorrupted(index))
+        ++counters_.overwrittenFlips;
+    data_[index] = value;
+    shadow_[index] = value;
+    switch (protection_) {
+      case Protection::None:
+        check_[index] = 0;
+        break;
+      case Protection::Parity:
+        check_[index] = ecc::ParityCodec::encode(value);
+        break;
+      case Protection::Secded:
+        check_[index] = ecc::SecdedCodec::encode(value);
+        break;
+    }
+}
+
+ReadOutcome
+SramArray::read(size_t index)
+{
+    XSER_ASSERT(index < data_.size(), "SRAM read out of range");
+    switch (protection_) {
+      case Protection::None: {
+        ReadOutcome outcome;
+        outcome.value = data_[index];
+        outcome.status = ecc::CheckStatus::Clean;
+        outcome.silentCorruption = data_[index] != shadow_[index];
+        if (outcome.silentCorruption)
+            ++counters_.silentEscapes;
+        return outcome;
+      }
+      case Protection::Parity:
+        return readParity(index);
+      case Protection::Secded:
+        return readSecded(index);
+    }
+    panic("unreachable protection scheme");
+}
+
+ReadOutcome
+SramArray::readParity(size_t index)
+{
+    ReadOutcome outcome;
+    outcome.value = data_[index];
+    outcome.status = ecc::ParityCodec::check(data_[index], check_[index]);
+    outcome.silentCorruption = false;
+    if (outcome.status == ecc::CheckStatus::ParityError) {
+        ++counters_.parityErrors;
+        return outcome;
+    }
+    // Parity passed; an even number of flips (data+check combined) slips
+    // through undetected.
+    if (data_[index] != shadow_[index]) {
+        outcome.silentCorruption = true;
+        ++counters_.silentEscapes;
+    }
+    return outcome;
+}
+
+ReadOutcome
+SramArray::readSecded(size_t index)
+{
+    ReadOutcome outcome;
+    const auto result = ecc::SecdedCodec::decode(data_[index],
+                                                 check_[index]);
+    outcome.value = result.data;
+    outcome.status = result.status;
+    outcome.silentCorruption = false;
+
+    switch (result.status) {
+      case ecc::CheckStatus::Clean:
+        if (result.data != shadow_[index]) {
+            // >= 4 flips aliased to a valid codeword: fully silent.
+            outcome.silentCorruption = true;
+            ++counters_.silentEscapes;
+        }
+        break;
+      case ecc::CheckStatus::CorrectedSingle:
+        // Scrub the correction back into the array, as hardware does.
+        data_[index] = result.data;
+        check_[index] = result.check;
+        ++counters_.corrected;
+        if (result.data != shadow_[index]) {
+            // The decoder repaired the wrong bit: a >= 3-flip alias. The
+            // hardware report stays "corrected"; ground truth says the
+            // word is now corrupt (Section 6.2 case 1).
+            outcome.status = ecc::CheckStatus::Miscorrected;
+            outcome.silentCorruption = true;
+            ++counters_.miscorrections;
+        }
+        break;
+      case ecc::CheckStatus::DetectedDouble:
+        ++counters_.uncorrected;
+        break;
+      default:
+        panic("unexpected SECDED decode status");
+    }
+    return outcome;
+}
+
+uint64_t
+SramArray::peek(size_t index) const
+{
+    XSER_ASSERT(index < data_.size(), "SRAM peek out of range");
+    return data_[index];
+}
+
+uint64_t
+SramArray::truth(size_t index) const
+{
+    XSER_ASSERT(index < shadow_.size(), "SRAM truth out of range");
+    return shadow_[index];
+}
+
+bool
+SramArray::isCorrupted(size_t index) const
+{
+    XSER_ASSERT(index < data_.size(), "SRAM index out of range");
+    if (data_[index] != shadow_[index])
+        return true;
+    switch (protection_) {
+      case Protection::None:
+        return false;
+      case Protection::Parity:
+        return check_[index] != ecc::ParityCodec::encode(shadow_[index]);
+      case Protection::Secded:
+        return check_[index] != ecc::SecdedCodec::encode(shadow_[index]);
+    }
+    return false;
+}
+
+void
+SramArray::flipBit(size_t index, unsigned stored_bit)
+{
+    XSER_ASSERT(index < data_.size(), "SRAM flip out of range");
+    XSER_ASSERT(stored_bit < bitsPerWord_, "stored bit out of range");
+    if (stored_bit < 64)
+        data_[index] ^= 1ULL << stored_bit;
+    else
+        check_[index] ^= static_cast<uint8_t>(1u << (stored_bit - 64));
+    ++counters_.bitFlipsInjected;
+}
+
+void
+SramArray::reset()
+{
+    std::fill(data_.begin(), data_.end(), 0);
+    std::fill(shadow_.begin(), shadow_.end(), 0);
+    uint8_t zero_check = 0;
+    if (protection_ == Protection::Secded)
+        zero_check = ecc::SecdedCodec::encode(0);
+    std::fill(check_.begin(), check_.end(), zero_check);
+    counters_ = SramCounters{};
+}
+
+} // namespace xser::mem

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Bit-true SRAM array model with an error-protection overlay.
+ *
+ * This is the foundation of the whole study: every cache/TLB data array in
+ * the simulated X-Gene 2 is an SramArray holding *actual* bits plus stored
+ * check bits. The beam flips stored bits; detection only happens when a
+ * word is subsequently read (by the workload, a fill, or the patrol
+ * scrubber), which is why observed upset rates sit below raw upset rates
+ * exactly as the paper discusses in Section 3.5.
+ *
+ * A shadow copy of the last-written truth lets the simulator ground-truth
+ * silent corruption (parity-even escapes, SECDED miscorrections) that real
+ * hardware cannot see -- used only for accounting, never fed back into
+ * simulated behaviour.
+ */
+
+#ifndef XSER_MEM_SRAM_ARRAY_HH
+#define XSER_MEM_SRAM_ARRAY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ecc/ecc_types.hh"
+#include "ecc/secded.hh"
+
+namespace xser::mem {
+
+/** Protection scheme of an SRAM array (Table 1 of the paper). */
+enum class Protection : uint8_t {
+    None,    ///< unprotected (not used by X-Gene 2 caches, kept for
+             ///< ablations)
+    Parity,  ///< even parity per 64-bit word: detects odd flip counts
+    Secded,  ///< SECDED(72,64): corrects 1, detects 2 flips per word
+};
+
+/** Human-readable name of a protection scheme. */
+const char *protectionName(Protection protection);
+
+/** Result of a checked read from a protected word. */
+struct ReadOutcome {
+    uint64_t value;            ///< data delivered to the consumer
+    ecc::CheckStatus status;   ///< protection verdict (ground-truthed)
+    bool silentCorruption;     ///< delivered value differs from the truth
+};
+
+/** Lifetime statistics of one array, for raw-vs-detected analysis. */
+struct SramCounters {
+    uint64_t bitFlipsInjected = 0;   ///< raw upset bits from the beam
+    uint64_t upsetEventsInjected = 0;///< raw upset events (1 per cluster)
+    uint64_t corrected = 0;          ///< CE reports (incl. miscorrections)
+    uint64_t uncorrected = 0;        ///< UE reports
+    uint64_t parityErrors = 0;       ///< parity detections
+    uint64_t miscorrections = 0;     ///< ground truth: CE with wrong data
+    uint64_t silentEscapes = 0;      ///< reads delivering corrupt data
+                                     ///< with a Clean verdict
+    uint64_t overwrittenFlips = 0;   ///< corrupt words overwritten before
+                                     ///< any read saw them
+};
+
+/**
+ * A named array of 64-bit words with stored check bits and fault overlay.
+ */
+class SramArray
+{
+  public:
+    /**
+     * @param name Array name used in EDAC attribution (e.g. "l3.data").
+     * @param words Capacity in 64-bit words.
+     * @param protection Protection scheme for stored words.
+     */
+    SramArray(std::string name, size_t words, Protection protection);
+
+    const std::string &name() const { return name_; }
+    Protection protection() const { return protection_; }
+
+    /** Capacity in 64-bit data words. */
+    size_t words() const { return data_.size(); }
+
+    /** Stored bits per word: 64 data + check bits of the scheme. */
+    unsigned bitsPerWord() const { return bitsPerWord_; }
+
+    /** Total stored bits, the footprint the beam samples over. */
+    uint64_t totalBits() const
+    {
+        return static_cast<uint64_t>(words()) * bitsPerWord();
+    }
+
+    /**
+     * Write a word: stores data, regenerates check bits, refreshes the
+     * shadow truth. Pending flips in the word are silently destroyed
+     * (counted as overwritten), mirroring real hardware.
+     */
+    void write(size_t index, uint64_t value);
+
+    /**
+     * Checked read: verifies protection, corrects in place where the
+     * scheme allows, and reports what hardware would report. The outcome
+     * additionally carries ground-truth flags the campaign uses for
+     * Section 6.2 style analysis.
+     */
+    ReadOutcome read(size_t index);
+
+    /** Raw stored bits without any checking (debug/test aid). */
+    uint64_t peek(size_t index) const;
+
+    /** Shadow truth for a word (what software last wrote). */
+    uint64_t truth(size_t index) const;
+
+    /** True when the stored word (incl. check bits) deviates from truth. */
+    bool isCorrupted(size_t index) const;
+
+    /**
+     * Flip one stored bit.
+     *
+     * @param index Word index.
+     * @param stored_bit Bit position within the stored word footprint:
+     *        [0, 64) selects a data bit, [64, bitsPerWord()) a check bit.
+     */
+    void flipBit(size_t index, unsigned stored_bit);
+
+    /** Record that one upset event (possibly multi-bit) was injected. */
+    void noteUpsetEvent() { ++counters_.upsetEventsInjected; }
+
+    /** Lifetime statistics. */
+    const SramCounters &counters() const { return counters_; }
+
+    /** Reset contents to zero truth and clear statistics. */
+    void reset();
+
+  private:
+    ReadOutcome readParity(size_t index);
+    ReadOutcome readSecded(size_t index);
+
+    std::string name_;
+    Protection protection_;
+    unsigned bitsPerWord_;
+    std::vector<uint64_t> data_;    ///< stored (possibly corrupt) data
+    std::vector<uint8_t> check_;    ///< stored check bits
+    std::vector<uint64_t> shadow_;  ///< ground-truth data
+    SramCounters counters_;
+};
+
+} // namespace xser::mem
+
+#endif // XSER_MEM_SRAM_ARRAY_HH

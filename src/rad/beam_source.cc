@@ -1,0 +1,151 @@
+/**
+ * @file
+ * BeamSource implementation.
+ */
+
+#include "rad/beam_source.hh"
+
+#include "sim/logging.hh"
+
+namespace xser::rad {
+
+BeamSource::BeamSource(const BeamConfig &config,
+                       const CrossSectionModel *xsection,
+                       const MbuModel *mbu,
+                       std::vector<mem::BeamTarget> targets)
+    : config_(config), xsection_(xsection), mbu_(mbu),
+      targets_(std::move(targets)), rng_(config.seed)
+{
+    XSER_ASSERT(xsection_ != nullptr, "beam needs a cross-section model");
+    XSER_ASSERT(mbu_ != nullptr, "beam needs an MBU model");
+    if (config_.timeScale <= 0.0)
+        fatal("beam time scale must be positive");
+    if (targets_.empty())
+        fatal("beam needs at least one target array");
+}
+
+void
+BeamSource::setVoltages(double pmd_volts, double soc_volts)
+{
+    if (pmd_volts <= 0.0 || soc_volts <= 0.0)
+        fatal("domain voltages must be positive");
+    pmdVolts_ = pmd_volts;
+    socVolts_ = soc_volts;
+}
+
+void
+BeamSource::setTimeScale(double time_scale)
+{
+    if (time_scale <= 0.0)
+        fatal("beam time scale must be positive");
+    config_.timeScale = time_scale;
+}
+
+double
+BeamSource::effectiveFlux() const
+{
+    return config_.environment.neutronsPerCm2PerSecond *
+           config_.timeScale;
+}
+
+double
+BeamSource::voltsFor(const mem::BeamTarget &target) const
+{
+    return target.pmdDomain ? pmdVolts_ : socVolts_;
+}
+
+double
+BeamSource::deltaVFor(const mem::BeamTarget &target) const
+{
+    const auto &sensitivity = xsection_->sensitivity(target.level);
+    return sensitivity.nominalVolts - voltsFor(target);
+}
+
+double
+BeamSource::expectedEventRatePerSecond() const
+{
+    double rate = 0.0;
+    for (const auto &target : targets_) {
+        rate += static_cast<double>(target.array->totalBits()) *
+                xsection_->bitCrossSection(target.level,
+                                           voltsFor(target)) *
+                effectiveFlux();
+    }
+    return rate;
+}
+
+void
+BeamSource::injectEvent(const mem::BeamTarget &target, double delta_v)
+{
+    mem::SramArray &array = *target.array;
+    const unsigned cluster = mbu_->sampleClusterSize(delta_v, rng_);
+    const size_t words = array.words();
+    const unsigned bits_per_word = array.bitsPerWord();
+    const size_t word = rng_.nextBounded(words);
+    const unsigned bit =
+        static_cast<unsigned>(rng_.nextBounded(bits_per_word));
+
+    array.noteUpsetEvent();
+    const bool interleaved =
+        config_.interleaved[static_cast<size_t>(target.level)];
+    for (unsigned i = 0; i < cluster; ++i) {
+        if (interleaved) {
+            // Physically adjacent cells map to the same bit column of
+            // consecutive logical words: each flip is a separate SBU
+            // from the codec's perspective.
+            array.flipBit((word + i) % words, bit);
+        } else {
+            // No interleaving: the cluster lands inside one word.
+            array.flipBit(word, (bit + i) % bits_per_word);
+        }
+    }
+}
+
+void
+BeamSource::advance(Tick elapsed)
+{
+    if (elapsed == 0)
+        return;
+    const double seconds = ticks::toSeconds(elapsed);
+    const double flux = effectiveFlux();
+    fluence_ += flux * seconds;
+
+    for (const auto &target : targets_) {
+        const double volts = voltsFor(target);
+        const double mean =
+            static_cast<double>(target.array->totalBits()) *
+            xsection_->bitCrossSection(target.level, volts) * flux *
+            seconds;
+        const uint64_t events = rng_.nextPoisson(mean);
+        if (events == 0)
+            continue;
+        eventsPerLevel_[static_cast<size_t>(target.level)] += events;
+        const double delta_v = deltaVFor(target);
+        for (uint64_t i = 0; i < events; ++i)
+            injectEvent(target, delta_v);
+    }
+}
+
+uint64_t
+BeamSource::upsetEvents() const
+{
+    uint64_t total = 0;
+    for (uint64_t count : eventsPerLevel_)
+        total += count;
+    return total;
+}
+
+uint64_t
+BeamSource::upsetEvents(mem::CacheLevel level) const
+{
+    return eventsPerLevel_[static_cast<size_t>(level)];
+}
+
+void
+BeamSource::clearCounters()
+{
+    fluence_ = 0.0;
+    eventsPerLevel_ = {};
+}
+
+} // namespace xser::rad

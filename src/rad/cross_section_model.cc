@@ -1,0 +1,71 @@
+/**
+ * @file
+ * CrossSectionModel implementation.
+ *
+ * Default sensitivities were fitted against the paper's per-level upset
+ * rates (Figs. 6 and 7):
+ *
+ *   level | fit source                               | k (1/V)
+ *   ------+------------------------------------------+--------
+ *   TLB   | small parity cells, Fig.7 (0.03 @790mV)  |  4.5
+ *   L1    | Fig.7: 2.7x at 190 mV below nominal      |  4.8
+ *   L2    | Fig.6/7: 1.24x @ -60 mV, 1.85x @ -190 mV |  3.2
+ *   L3    | Fig.6: 1.10x @ -30 mV (SoC domain)       |  2.8
+ */
+
+#include "rad/cross_section_model.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace xser::rad {
+
+CrossSectionModel::CrossSectionModel()
+{
+    constexpr double pmd_nominal = 0.980;
+    constexpr double soc_nominal = 0.950;
+    sensitivities_[static_cast<size_t>(mem::CacheLevel::Tlb)] =
+        ArraySensitivity{1.0e-15, 3.5, pmd_nominal};
+    sensitivities_[static_cast<size_t>(mem::CacheLevel::L1)] =
+        ArraySensitivity{1.0e-15, 4.8, pmd_nominal};
+    sensitivities_[static_cast<size_t>(mem::CacheLevel::L2)] =
+        ArraySensitivity{1.0e-15, 2.4, pmd_nominal};
+    sensitivities_[static_cast<size_t>(mem::CacheLevel::L3)] =
+        ArraySensitivity{1.0e-15, 2.8, soc_nominal};
+}
+
+void
+CrossSectionModel::setSensitivity(mem::CacheLevel level,
+                                  const ArraySensitivity &sensitivity)
+{
+    if (sensitivity.sigma0Cm2PerBit <= 0.0)
+        fatal("cross section must be positive");
+    sensitivities_[static_cast<size_t>(level)] = sensitivity;
+}
+
+const ArraySensitivity &
+CrossSectionModel::sensitivity(mem::CacheLevel level) const
+{
+    return sensitivities_[static_cast<size_t>(level)];
+}
+
+double
+CrossSectionModel::bitCrossSection(mem::CacheLevel level,
+                                   double volts) const
+{
+    const auto &s = sensitivities_[static_cast<size_t>(level)];
+    XSER_ASSERT(volts > 0.0, "supply voltage must be positive");
+    return s.sigma0Cm2PerBit *
+           std::exp(s.voltSensPerVolt * (s.nominalVolts - volts));
+}
+
+double
+CrossSectionModel::susceptibilityRatio(mem::CacheLevel level,
+                                       double volts) const
+{
+    const auto &s = sensitivities_[static_cast<size_t>(level)];
+    return bitCrossSection(level, volts) / s.sigma0Cm2PerBit;
+}
+
+} // namespace xser::rad

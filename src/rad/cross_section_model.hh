@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Voltage-dependent per-bit neutron cross sections.
+ *
+ * The critical charge Qcrit of an SRAM cell is proportional to its
+ * supply voltage ([16] in the paper), and the upset rate follows the
+ * Hazucha-Svensson form SER ~ exp(-Qcrit/Qs). Folding the constants, a
+ * bit's cross section scales exponentially with the voltage reduction:
+ *
+ *     sigma(V) = sigma0 * exp(k * (Vnom - V))
+ *
+ * sigma0 is in the 1e-15 cm^2/bit range the paper cites for 28 nm
+ * SRAM (Section 3.3, [83]). The sensitivity k differs per array class:
+ * the paper's per-level data (Figs. 6/7) shows the small parity arrays
+ * reacting more steeply to PMD undervolting than the big SECDED arrays
+ * (L1 ~2.7x at 790 mV vs L2 ~1.5x), consistent with smaller cells.
+ */
+
+#ifndef XSER_RAD_CROSS_SECTION_MODEL_HH
+#define XSER_RAD_CROSS_SECTION_MODEL_HH
+
+#include <array>
+
+#include "mem/edac_reporter.hh"
+
+namespace xser::rad {
+
+/** Sensitivity parameters of one array class. */
+struct ArraySensitivity {
+    double sigma0Cm2PerBit;   ///< cross section at nominal voltage
+    double voltSensPerVolt;   ///< exponent k in exp(k * (Vnom - V))
+    double nominalVolts;      ///< the domain's nominal supply
+};
+
+/**
+ * Per-cache-level cross-section model. Defaults are the calibrated
+ * values used for the paper reproduction (see core/calibration.hh for
+ * the fit provenance).
+ */
+class CrossSectionModel
+{
+  public:
+    CrossSectionModel();
+
+    /** Override one level's sensitivity (ablations, other silicon). */
+    void setSensitivity(mem::CacheLevel level,
+                        const ArraySensitivity &sensitivity);
+
+    const ArraySensitivity &sensitivity(mem::CacheLevel level) const;
+
+    /** Per-bit cross section (cm^2) at the given supply voltage. */
+    double bitCrossSection(mem::CacheLevel level, double volts) const;
+
+    /**
+     * Ratio of the cross section at `volts` to the nominal one -- the
+     * per-level susceptibility increase the paper plots.
+     */
+    double susceptibilityRatio(mem::CacheLevel level, double volts) const;
+
+  private:
+    std::array<ArraySensitivity, mem::numCacheLevels> sensitivities_;
+};
+
+} // namespace xser::rad
+
+#endif // XSER_RAD_CROSS_SECTION_MODEL_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * FIT math implementation.
+ */
+
+#include "rad/fit_math.hh"
+
+#include "sim/logging.hh"
+
+namespace xser::rad {
+
+double
+dynamicCrossSection(uint64_t events, double fluence)
+{
+    XSER_ASSERT(fluence > 0.0, "fluence must be positive");
+    return static_cast<double>(events) / fluence;
+}
+
+double
+fitFromDcs(double dcs, double reference_flux_per_hour)
+{
+    return dcs * reference_flux_per_hour * fitHours;
+}
+
+double
+fitFromCounts(uint64_t events, double fluence,
+              double reference_flux_per_hour)
+{
+    return fitFromDcs(dynamicCrossSection(events, fluence),
+                      reference_flux_per_hour);
+}
+
+PoissonInterval
+fitInterval(uint64_t events, double fluence, double confidence,
+            double reference_flux_per_hour)
+{
+    XSER_ASSERT(fluence > 0.0, "fluence must be positive");
+    PoissonInterval counts = poissonConfidenceInterval(events, confidence);
+    const double scale = reference_flux_per_hour * fitHours / fluence;
+    return PoissonInterval{counts.lower * scale, counts.upper * scale};
+}
+
+double
+nycYearsEquivalent(double fluence)
+{
+    XSER_ASSERT(fluence >= 0.0, "fluence must be non-negative");
+    const double hours = fluence / nycFluxPerHour;
+    return hours / (24.0 * 365.0);
+}
+
+double
+fitPerMbit(uint64_t upsets, double fluence, uint64_t total_bits)
+{
+    XSER_ASSERT(total_bits > 0, "SRAM footprint must be non-empty");
+    const double total_fit = fitFromCounts(upsets, fluence);
+    const double mbits =
+        static_cast<double>(total_bits) / (1024.0 * 1024.0);
+    return total_fit / mbits;
+}
+
+double
+expectedFailures(double fit, double devices, double hours)
+{
+    return fit * devices * hours / fitHours;
+}
+
+} // namespace xser::rad

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The estimator pipeline of Section 2.1: dynamic cross section (Eq. 1)
+ * and FIT conversion (Eq. 2), plus the fluence bookkeeping helpers the
+ * session tables need (NYC-equivalent years, FIT per Mbit).
+ */
+
+#ifndef XSER_RAD_FIT_MATH_HH
+#define XSER_RAD_FIT_MATH_HH
+
+#include <cstdint>
+
+#include "stats/poisson_ci.hh"
+
+namespace xser::rad {
+
+/** NYC sea-level reference flux in n/cm^2/hour (JESD89). */
+constexpr double nycFluxPerHour = 13.0;
+
+/** Hours per FIT period (FIT = failures per 1e9 device-hours). */
+constexpr double fitHours = 1e9;
+
+/**
+ * Eq. 1: dynamic cross section = events / fluence.
+ *
+ * @param events Number of observed events.
+ * @param fluence Particle fluence in n/cm^2 (must be positive).
+ */
+double dynamicCrossSection(uint64_t events, double fluence);
+
+/** Eq. 2: FIT = DCS * 13 n/cm^2/h * 1e9 h. */
+double fitFromDcs(double dcs, double reference_flux_per_hour =
+                                   nycFluxPerHour);
+
+/** Compose Eq. 1 and Eq. 2 directly from counts. */
+double fitFromCounts(uint64_t events, double fluence,
+                     double reference_flux_per_hour = nycFluxPerHour);
+
+/** 95 % confidence interval on a FIT estimate from counts. */
+PoissonInterval fitInterval(uint64_t events, double fluence,
+                            double confidence = 0.95,
+                            double reference_flux_per_hour =
+                                nycFluxPerHour);
+
+/**
+ * Years of natural NYC irradiation delivering the same fluence
+ * (Table 2's "Years of NYC equivalent radiation" row).
+ */
+double nycYearsEquivalent(double fluence);
+
+/**
+ * Memory soft-error rate in FIT per Mbit (Table 2's last row): the FIT
+ * implied by `upsets` over `fluence`, normalized per 2^20 bits of the
+ * `total_bits` SRAM footprint.
+ */
+double fitPerMbit(uint64_t upsets, double fluence, uint64_t total_bits);
+
+/** Expected failures for a fleet: FIT * devices * hours / 1e9. */
+double expectedFailures(double fit, double devices, double hours);
+
+} // namespace xser::rad
+
+#endif // XSER_RAD_FIT_MATH_HH

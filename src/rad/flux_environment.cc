@@ -1,0 +1,50 @@
+/**
+ * @file
+ * FluxEnvironment factories.
+ */
+
+#include "rad/flux_environment.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace xser::rad {
+
+FluxEnvironment
+nycSeaLevel()
+{
+    return FluxEnvironment{"NYC sea level", 13.0 / 3600.0};
+}
+
+FluxEnvironment
+tnfBeamCenter()
+{
+    return FluxEnvironment{"TRIUMF TNF beam center", 2.5e6};
+}
+
+FluxEnvironment
+tnfBeamHalo()
+{
+    return FluxEnvironment{"TRIUMF TNF beam halo", 1.5e6};
+}
+
+FluxEnvironment
+atAltitude(double altitude_meters)
+{
+    if (altitude_meters < 0.0 || altitude_meters > 20000.0)
+        fatal(msg("altitude ", altitude_meters,
+                  " m outside the supported 0..20000 m range"));
+    // exp(h / 1437 m): ~2x per km, ~3x at Denver's 1600 m.
+    const double multiplier = std::exp(altitude_meters / 1437.0);
+    return FluxEnvironment{msg("terrestrial @ ", altitude_meters, " m"),
+                           (13.0 / 3600.0) * multiplier};
+}
+
+double
+accelerationOverNyc(const FluxEnvironment &environment)
+{
+    return environment.neutronsPerCm2PerSecond / (13.0 / 3600.0);
+}
+
+} // namespace xser::rad

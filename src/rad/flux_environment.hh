@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Neutron flux environments (energies above 10 MeV, JEDEC JESD89
+ * convention used throughout the paper).
+ *
+ * The paper's campaign ran in the halo of the TRIUMF TNF beam at
+ * 1.5e6 n/cm^2/s (Section 3.4: the nominal beam position delivers
+ * 2e6..3e6 n/cm^2/s; the halo position measured 0.60 +/- 0.02 % of...
+ * the ratio folding yields (2+3)/2 * 0.6 = 1.5e6). FIT rates are quoted
+ * for the NYC sea-level reference flux of 13 n/cm^2/h (Section 2.1).
+ */
+
+#ifndef XSER_RAD_FLUX_ENVIRONMENT_HH
+#define XSER_RAD_FLUX_ENVIRONMENT_HH
+
+#include <string>
+
+namespace xser::rad {
+
+/** A neutron radiation environment. */
+struct FluxEnvironment {
+    std::string name;
+    double neutronsPerCm2PerSecond;  ///< flux for E > 10 MeV
+
+    /** Flux per hour (the unit of the NYC reference). */
+    double perHour() const { return neutronsPerCm2PerSecond * 3600.0; }
+};
+
+/** NYC sea-level reference: 13 n/cm^2/h. */
+FluxEnvironment nycSeaLevel();
+
+/** TNF nominal beam position: 2.5e6 n/cm^2/s (mid of the 2..3 range). */
+FluxEnvironment tnfBeamCenter();
+
+/** TNF halo position used by the campaign: 1.5e6 n/cm^2/s. */
+FluxEnvironment tnfBeamHalo();
+
+/**
+ * Terrestrial environment at altitude: NYC flux scaled by the standard
+ * exponential atmospheric-depth approximation (about 2x per 1000 m;
+ * Denver at 1600 m sees roughly 3x sea level).
+ *
+ * @param altitude_meters Altitude above sea level.
+ */
+FluxEnvironment atAltitude(double altitude_meters);
+
+/** Acceleration factor of an environment over NYC sea level. */
+double accelerationOverNyc(const FluxEnvironment &environment);
+
+} // namespace xser::rad
+
+#endif // XSER_RAD_FLUX_ENVIRONMENT_HH

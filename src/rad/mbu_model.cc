@@ -1,0 +1,47 @@
+/**
+ * @file
+ * MbuModel implementation.
+ */
+
+#include "rad/mbu_model.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace xser::rad {
+
+MbuModel::MbuModel(const MbuConfig &config) : config_(config)
+{
+    const double mass = config_.sizePmf[0] + config_.sizePmf[1] +
+                        config_.sizePmf[2];
+    if (std::fabs(mass - 1.0) > 1e-9)
+        fatal(msg("MBU size pmf must sum to 1, got ", mass));
+    if (config_.mbuFractionNominal < 0.0 ||
+        config_.mbuFractionNominal > 1.0)
+        fatal("MBU fraction must be a probability");
+}
+
+double
+MbuModel::mbuFraction(double delta_v) const
+{
+    const double fraction = config_.mbuFractionNominal *
+                            std::exp(config_.voltSensPerVolt * delta_v);
+    return std::min(fraction, config_.mbuFractionCap);
+}
+
+unsigned
+MbuModel::sampleClusterSize(double delta_v, Rng &rng) const
+{
+    if (!rng.nextBool(mbuFraction(delta_v)))
+        return 1;
+    const double draw = rng.nextDouble();
+    if (draw < config_.sizePmf[0])
+        return 2;
+    if (draw < config_.sizePmf[0] + config_.sizePmf[1])
+        return 3;
+    return 4;
+}
+
+} // namespace xser::rad

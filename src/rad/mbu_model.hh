@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Multi-bit upset (MBU) model.
+ *
+ * A single particle strike can upset a cluster of physically adjacent
+ * cells, and the MBU fraction grows as the supply drops (Section 4.3,
+ * [20]). Physical adjacency maps to logical words differently per
+ * array: small arrays use column interleaving so a physical cluster
+ * lands in *different* logical words (each correctable on its own),
+ * while the large L3 has no interleaving (paper: "large cache arrays
+ * with no memory interleaving schemes are more vulnerable to MBUs"), so
+ * clusters land in the *same* word -- which is why uncorrectable ECC
+ * events were observed only in L3 (Fig. 6).
+ */
+
+#ifndef XSER_RAD_MBU_MODEL_HH
+#define XSER_RAD_MBU_MODEL_HH
+
+#include <array>
+
+namespace xser {
+class Rng;
+} // namespace xser
+
+namespace xser::rad {
+
+/** MBU model parameters. */
+struct MbuConfig {
+    /** Fraction of upset events that are multi-bit at nominal supply. */
+    double mbuFractionNominal = 0.06;
+    /** Exponential growth of the MBU fraction per volt of reduction. */
+    double voltSensPerVolt = 3.0;
+    /** Probability mass over cluster sizes 2, 3, 4 (given MBU). */
+    std::array<double, 3> sizePmf = {0.72, 0.20, 0.08};
+    /** Cap so the fraction stays a probability under deep undervolt. */
+    double mbuFractionCap = 0.60;
+};
+
+/**
+ * Samples upset cluster sizes as a function of voltage reduction.
+ */
+class MbuModel
+{
+  public:
+    explicit MbuModel(const MbuConfig &config = {});
+
+    const MbuConfig &config() const { return config_; }
+
+    /** MBU fraction at a voltage reduction delta_v = Vnom - V (volts). */
+    double mbuFraction(double delta_v) const;
+
+    /** Sample a cluster size (1, 2, 3, or 4 bits). */
+    unsigned sampleClusterSize(double delta_v, Rng &rng) const;
+
+  private:
+    MbuConfig config_;
+};
+
+} // namespace xser::rad
+
+#endif // XSER_RAD_MBU_MODEL_HH

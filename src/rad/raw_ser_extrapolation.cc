@@ -1,0 +1,73 @@
+/**
+ * @file
+ * RawSerExtrapolation implementation.
+ */
+
+#include "rad/raw_ser_extrapolation.hh"
+
+#include "sim/logging.hh"
+
+namespace xser::rad {
+
+RawSerExtrapolation::RawSerExtrapolation(
+    const CrossSectionModel *xsection,
+    std::vector<SerStructure> structures,
+    const FluxEnvironment &environment)
+    : xsection_(xsection), structures_(std::move(structures)),
+      environment_(environment)
+{
+    XSER_ASSERT(xsection_ != nullptr,
+                "extrapolation needs a cross-section model");
+    if (structures_.empty())
+        fatal("extrapolation needs at least one structure");
+}
+
+double
+RawSerExtrapolation::rawFit(double pmd_volts, double soc_volts) const
+{
+    double fit = 0.0;
+    for (const auto &structure : structures_) {
+        const double volts =
+            structure.pmdDomain ? pmd_volts : soc_volts;
+        fit += static_cast<double>(structure.bits) *
+               xsection_->bitCrossSection(structure.level, volts) *
+               environment_.perHour() * 1e9;
+    }
+    return fit;
+}
+
+std::vector<SerPrediction>
+RawSerExtrapolation::predict(
+    const std::vector<std::pair<double, double>> &settings) const
+{
+    XSER_ASSERT(!settings.empty(), "need at least one setting");
+    std::vector<SerPrediction> predictions;
+    predictions.reserve(settings.size());
+    const double nominal =
+        rawFit(settings.front().first, settings.front().second);
+    for (const auto &[pmd, soc] : settings) {
+        SerPrediction prediction;
+        prediction.pmdVolts = pmd;
+        prediction.socVolts = soc;
+        prediction.rawFit = rawFit(pmd, soc);
+        prediction.ratioToNominal =
+            nominal > 0.0 ? prediction.rawFit / nominal : 0.0;
+        predictions.push_back(prediction);
+    }
+    return predictions;
+}
+
+std::vector<SerStructure>
+inventoryFrom(const std::vector<mem::BeamTarget> &targets)
+{
+    std::vector<SerStructure> structures;
+    structures.reserve(targets.size());
+    for (const auto &target : targets) {
+        structures.push_back(SerStructure{target.level,
+                                          target.array->totalBits(),
+                                          target.pmdDomain});
+    }
+    return structures;
+}
+
+} // namespace xser::rad

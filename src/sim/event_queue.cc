@@ -1,0 +1,76 @@
+/**
+ * @file
+ * EventQueue implementation.
+ */
+
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace xser {
+
+EventId
+EventQueue::schedule(Tick when, Callback callback)
+{
+    const EventId id = callbacks_.size();
+    callbacks_.push_back(std::move(callback));
+    live_.push_back(true);
+    heap_.push(Entry{when, nextSequence_++, id});
+    ++liveCount_;
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (id >= live_.size() || !live_[id])
+        return false;
+    live_[id] = false;
+    --liveCount_;
+    return true;
+}
+
+void
+EventQueue::skipDead() const
+{
+    while (!heap_.empty() && !live_[heap_.top().id])
+        heap_.pop();
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    skipDead();
+    XSER_ASSERT(!heap_.empty(), "nextTick() on empty event queue");
+    return heap_.top().when;
+}
+
+size_t
+EventQueue::runUntil(Tick limit)
+{
+    size_t fired = 0;
+    for (;;) {
+        skipDead();
+        if (heap_.empty() || heap_.top().when > limit)
+            break;
+        const Entry entry = heap_.top();
+        heap_.pop();
+        live_[entry.id] = false;
+        --liveCount_;
+        callbacks_[entry.id](entry.when);
+        ++fired;
+    }
+    return fired;
+}
+
+void
+EventQueue::clear()
+{
+    while (!heap_.empty())
+        heap_.pop();
+    callbacks_.clear();
+    live_.clear();
+    liveCount_ = 0;
+}
+
+} // namespace xser

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Discrete-event queue.
+ *
+ * The campaign interleaves workload execution with asynchronous events
+ * (beam upsets, scrubber passes, watchdog timeouts). Events are ordered by
+ * (tick, sequence) so same-tick events fire in deterministic insertion
+ * order regardless of heap internals.
+ */
+
+#ifndef XSER_SIM_EVENT_QUEUE_HH
+#define XSER_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/sim_clock.hh"
+
+namespace xser {
+
+/** Identifier handed back by schedule(), usable for cancellation. */
+using EventId = uint64_t;
+
+/**
+ * Deterministic discrete-event queue keyed by simulated ticks.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void(Tick)>;
+
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * @param when Absolute simulated time of the event.
+     * @param callback Invoked with the event's tick when it fires.
+     * @return Id usable with cancel().
+     */
+    EventId schedule(Tick when, Callback callback);
+
+    /** Cancel a pending event; returns false if already fired/cancelled. */
+    bool cancel(EventId id);
+
+    /** True if no live events remain. */
+    bool empty() const { return liveCount_ == 0; }
+
+    /** Number of live (non-cancelled, unfired) events. */
+    size_t size() const { return liveCount_; }
+
+    /** Tick of the earliest live event; panics if empty. */
+    Tick nextTick() const;
+
+    /**
+     * Fire all events scheduled at or before the given tick, in order.
+     *
+     * @return Number of events fired.
+     */
+    size_t runUntil(Tick limit);
+
+    /** Remove all pending events. */
+    void clear();
+
+  private:
+    struct Entry {
+        Tick when;
+        uint64_t sequence;
+        EventId id;
+        bool operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return sequence > other.sequence;
+        }
+    };
+
+    /** Drop cancelled entries from the top of the heap. */
+    void skipDead() const;
+
+    mutable std::priority_queue<Entry, std::vector<Entry>,
+                                std::greater<Entry>> heap_;
+    std::vector<Callback> callbacks_;
+    std::vector<bool> live_;
+    uint64_t nextSequence_ = 0;
+    size_t liveCount_ = 0;
+};
+
+} // namespace xser
+
+#endif // XSER_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Logging and fatal-error helpers, following the gem5 idiom: fatal() for
+ * user/configuration errors the simulator cannot recover from, panic() for
+ * internal invariant violations (simulator bugs), warn()/inform() for
+ * status output that never stops the run.
+ */
+
+#ifndef XSER_SIM_LOGGING_HH
+#define XSER_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace xser {
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel {
+    Quiet = 0,  ///< only fatal/panic output
+    Warn = 1,   ///< warnings and above
+    Info = 2,   ///< informational messages and above
+    Debug = 3,  ///< everything, including debug traces
+};
+
+/**
+ * Process-wide logging configuration. A single global instance keeps the
+ * library dependency-free; tests may lower the level to keep output quiet.
+ */
+class Logger
+{
+  public:
+    /** Access the global logger. */
+    static Logger &global();
+
+    LogLevel level() const { return level_; }
+    void setLevel(LogLevel level) { level_ = level; }
+
+    /** Emit a message at the given level to stderr. */
+    void emit(LogLevel level, const std::string &tag,
+              const std::string &message);
+
+  private:
+    LogLevel level_ = LogLevel::Warn;
+};
+
+/** Report a user-facing configuration error and terminate with exit(1). */
+[[noreturn]] void fatal(const std::string &message);
+
+/** Report an internal invariant violation and abort(). */
+[[noreturn]] void panic(const std::string &message);
+
+/** Non-fatal warning about suspicious but tolerated conditions. */
+void warn(const std::string &message);
+
+/** Informational status message. */
+void inform(const std::string &message);
+
+/** Debug trace message (suppressed unless LogLevel::Debug). */
+void debugLog(const std::string &message);
+
+/**
+ * Build a message from streamable parts, e.g.
+ * `fatal(msg("bad voltage ", mv, " mV"))`.
+ */
+template <typename... Args>
+std::string
+msg(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+/** Assert an internal invariant; panics with location info on failure. */
+#define XSER_ASSERT(cond, message)                                          \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::xser::panic(::xser::msg("assertion failed: ", #cond, " at ",  \
+                                      __FILE__, ":", __LINE__, ": ",        \
+                                      message));                            \
+        }                                                                   \
+    } while (0)
+
+} // namespace xser
+
+#endif // XSER_SIM_LOGGING_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * xoshiro256** implementation and distribution helpers.
+ */
+
+#include "sim/rng.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace xser {
+
+namespace {
+
+/** Rotate left helper for xoshiro. */
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+uint64_t
+SplitMix64::next()
+{
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed)
+{
+    SplitMix64 seeder(seed);
+    for (auto &word : state_)
+        word = seeder.next();
+    // A pathological all-zero state would lock the generator at zero.
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0)
+        state_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+Rng
+Rng::fork(const std::string &tag) const
+{
+    // Mix the current state with the tag hash; forks are stable given the
+    // parent's construction seed and the sequence of fork calls.
+    uint64_t mixed = state_[0] ^ rotl(state_[2], 17) ^ hashString(tag);
+    return Rng(mixed);
+}
+
+uint64_t
+Rng::nextU64()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 top bits -> double in [0, 1).
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t
+Rng::nextBounded(uint64_t bound)
+{
+    XSER_ASSERT(bound > 0, "nextBounded requires a positive bound");
+    // Rejection sampling over the largest multiple of bound.
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        uint64_t value = nextU64();
+        if (value >= threshold)
+            return value % bound;
+    }
+}
+
+bool
+Rng::nextBool(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (hasCachedGaussian_) {
+        hasCachedGaussian_ = false;
+        return cachedGaussian_;
+    }
+    // Box-Muller: two uniforms -> two independent normals.
+    double u1 = nextDouble();
+    while (u1 <= 0.0)
+        u1 = nextDouble();
+    const double u2 = nextDouble();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * M_PI * u2;
+    cachedGaussian_ = radius * std::sin(angle);
+    hasCachedGaussian_ = true;
+    return radius * std::cos(angle);
+}
+
+double
+Rng::nextGaussian(double mean, double sigma)
+{
+    return mean + sigma * nextGaussian();
+}
+
+double
+Rng::nextExponential(double rate)
+{
+    XSER_ASSERT(rate > 0.0, "exponential rate must be positive");
+    double u = nextDouble();
+    while (u <= 0.0)
+        u = nextDouble();
+    return -std::log(u) / rate;
+}
+
+uint64_t
+Rng::nextPoisson(double mean)
+{
+    XSER_ASSERT(mean >= 0.0, "poisson mean must be non-negative");
+    if (mean == 0.0)
+        return 0;
+    if (mean < 30.0) {
+        // Knuth's multiplication method.
+        const double limit = std::exp(-mean);
+        uint64_t count = 0;
+        double product = nextDouble();
+        while (product > limit) {
+            ++count;
+            product *= nextDouble();
+        }
+        return count;
+    }
+    // Normal approximation with continuity correction; relative error is
+    // negligible for campaign-scale means.
+    const double draw = nextGaussian(mean, std::sqrt(mean));
+    if (draw < 0.0)
+        return 0;
+    return static_cast<uint64_t>(draw + 0.5);
+}
+
+uint64_t
+hashString(const std::string &text)
+{
+    uint64_t hash = 0xcbf29ce484222325ULL;
+    for (unsigned char ch : text) {
+        hash ^= ch;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+} // namespace xser

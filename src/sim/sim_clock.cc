@@ -1,0 +1,27 @@
+/**
+ * @file
+ * SimClock implementation.
+ */
+
+#include "sim/sim_clock.hh"
+
+#include "sim/logging.hh"
+
+namespace xser {
+
+SimClock::SimClock(double frequency_hz)
+{
+    setFrequency(frequency_hz);
+}
+
+void
+SimClock::setFrequency(double frequency_hz)
+{
+    if (frequency_hz <= 0.0)
+        fatal(msg("clock frequency must be positive, got ", frequency_hz));
+    frequencyHz_ = frequency_hz;
+    periodTicks_ = ticks::periodFromFrequency(frequency_hz);
+    XSER_ASSERT(periodTicks_ > 0, "clock period underflowed tick resolution");
+}
+
+} // namespace xser

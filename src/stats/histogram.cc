@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Histogram implementation.
+ */
+
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace xser {
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi)
+{
+    if (bins == 0)
+        fatal("histogram needs at least one bin");
+    if (hi <= lo)
+        fatal(msg("histogram range is empty: [", lo, ", ", hi, ")"));
+    counts_.assign(bins, 0);
+    width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void
+Histogram::add(double value)
+{
+    add(value, 1);
+}
+
+void
+Histogram::add(double value, uint64_t weight)
+{
+    total_ += weight;
+    if (value < lo_) {
+        underflow_ += weight;
+        return;
+    }
+    if (value >= hi_) {
+        overflow_ += weight;
+        return;
+    }
+    auto index = static_cast<size_t>((value - lo_) / width_);
+    index = std::min(index, counts_.size() - 1);
+    counts_[index] += weight;
+}
+
+uint64_t
+Histogram::binCount(size_t index) const
+{
+    XSER_ASSERT(index < counts_.size(), "histogram bin out of range");
+    return counts_[index];
+}
+
+double
+Histogram::binLow(size_t index) const
+{
+    XSER_ASSERT(index < counts_.size(), "histogram bin out of range");
+    return lo_ + width_ * static_cast<double>(index);
+}
+
+std::string
+Histogram::toString() const
+{
+    std::ostringstream os;
+    const uint64_t peak = counts_.empty()
+        ? 0 : *std::max_element(counts_.begin(), counts_.end());
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        os << "[" << binLow(i) << ", " << binLow(i) + width_ << ") "
+           << counts_[i] << " ";
+        if (peak > 0) {
+            const size_t bars = static_cast<size_t>(
+                40.0 * static_cast<double>(counts_[i]) /
+                static_cast<double>(peak));
+            os << std::string(bars, '#');
+        }
+        os << "\n";
+    }
+    if (underflow_ || overflow_) {
+        os << "underflow " << underflow_ << ", overflow " << overflow_
+           << "\n";
+    }
+    return os.str();
+}
+
+void
+Histogram::clear()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = 0;
+    overflow_ = 0;
+    total_ = 0;
+}
+
+} // namespace xser

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fixed-bin histogram used for MBU cluster sizes, per-run event counts,
+ * and latency distributions.
+ */
+
+#ifndef XSER_STATS_HISTOGRAM_HH
+#define XSER_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xser {
+
+/**
+ * Histogram over [lo, hi) with uniform bins plus underflow/overflow.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Inclusive lower edge of the first bin.
+     * @param hi Exclusive upper edge of the last bin.
+     * @param bins Number of uniform bins (must be >= 1).
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Record one sample. */
+    void add(double value);
+
+    /** Record a sample with an integer weight. */
+    void add(double value, uint64_t weight);
+
+    /** Count in a bin by index. */
+    uint64_t binCount(size_t index) const;
+
+    /** Inclusive lower edge of a bin. */
+    double binLow(size_t index) const;
+
+    /** Number of uniform bins. */
+    size_t bins() const { return counts_.size(); }
+
+    /** Samples below the histogram range. */
+    uint64_t underflow() const { return underflow_; }
+
+    /** Samples at or above the histogram range. */
+    uint64_t overflow() const { return overflow_; }
+
+    /** Total recorded samples including under/overflow. */
+    uint64_t total() const { return total_; }
+
+    /** Render a small ASCII summary (for reports and debugging). */
+    std::string toString() const;
+
+    /** Reset all counts. */
+    void clear();
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<uint64_t> counts_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+};
+
+} // namespace xser
+
+#endif // XSER_STATS_HISTOGRAM_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Incomplete gamma and Poisson interval implementation.
+ */
+
+#include "stats/poisson_ci.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace xser {
+
+namespace {
+
+constexpr int maxIterations = 500;
+constexpr double epsilon = 1e-14;
+constexpr double tiny = 1e-300;
+
+/** Series expansion of P(a, x), valid and fast for x < a + 1. */
+double
+gammaPSeries(double a, double x)
+{
+    double term = 1.0 / a;
+    double sum = term;
+    double ap = a;
+    for (int i = 0; i < maxIterations; ++i) {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if (std::fabs(term) < std::fabs(sum) * epsilon)
+            break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/** Lentz continued fraction for Q(a, x), valid for x >= a + 1. */
+double
+gammaQContinuedFraction(double a, double x)
+{
+    double b = x + 1.0 - a;
+    double c = 1.0 / tiny;
+    double d = 1.0 / b;
+    double h = d;
+    for (int i = 1; i <= maxIterations; ++i) {
+        const double an = -static_cast<double>(i) *
+                          (static_cast<double>(i) - a);
+        b += 2.0;
+        d = an * d + b;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        c = b + an / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        const double delta = d * c;
+        h *= delta;
+        if (std::fabs(delta - 1.0) < epsilon)
+            break;
+    }
+    return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+} // namespace
+
+double
+regularizedGammaP(double a, double x)
+{
+    XSER_ASSERT(a > 0.0, "gamma shape must be positive");
+    XSER_ASSERT(x >= 0.0, "gamma argument must be non-negative");
+    if (x == 0.0)
+        return 0.0;
+    if (x < a + 1.0)
+        return gammaPSeries(a, x);
+    return 1.0 - gammaQContinuedFraction(a, x);
+}
+
+double
+regularizedGammaQ(double a, double x)
+{
+    return 1.0 - regularizedGammaP(a, x);
+}
+
+double
+chiSquaredQuantile(double p, double dof)
+{
+    XSER_ASSERT(p > 0.0 && p < 1.0, "quantile probability must be in (0,1)");
+    XSER_ASSERT(dof > 0.0, "degrees of freedom must be positive");
+    // Bracket the quantile, then bisect. The CDF is monotone so bisection
+    // is robust; 200 iterations give far more precision than needed.
+    double lo = 0.0;
+    double hi = dof + 10.0 * std::sqrt(2.0 * dof) + 10.0;
+    while (regularizedGammaP(dof / 2.0, hi / 2.0) < p)
+        hi *= 2.0;
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (regularizedGammaP(dof / 2.0, mid / 2.0) < p)
+            lo = mid;
+        else
+            hi = mid;
+        if (hi - lo < 1e-12 * (1.0 + hi))
+            break;
+    }
+    return 0.5 * (lo + hi);
+}
+
+PoissonInterval
+poissonConfidenceInterval(uint64_t count, double confidence)
+{
+    XSER_ASSERT(confidence > 0.0 && confidence < 1.0,
+                "confidence must be in (0,1)");
+    const double alpha = 1.0 - confidence;
+    PoissonInterval interval;
+    if (count == 0) {
+        interval.lower = 0.0;
+    } else {
+        interval.lower = 0.5 * chiSquaredQuantile(
+            alpha / 2.0, 2.0 * static_cast<double>(count));
+    }
+    interval.upper = 0.5 * chiSquaredQuantile(
+        1.0 - alpha / 2.0, 2.0 * static_cast<double>(count) + 2.0);
+    return interval;
+}
+
+PoissonInterval
+scaleInterval(const PoissonInterval &interval, double exposure)
+{
+    XSER_ASSERT(exposure > 0.0, "exposure must be positive");
+    return PoissonInterval{interval.lower / exposure,
+                           interval.upper / exposure};
+}
+
+} // namespace xser

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * RateEstimator implementation.
+ */
+
+#include "stats/rate_estimator.hh"
+
+#include "sim/logging.hh"
+
+namespace xser {
+
+void
+RateEstimator::addExposure(double exposure)
+{
+    XSER_ASSERT(exposure >= 0.0, "exposure must be non-negative");
+    exposure_ += exposure;
+}
+
+void
+RateEstimator::merge(const RateEstimator &other)
+{
+    events_ += other.events_;
+    exposure_ += other.exposure_;
+}
+
+double
+RateEstimator::rate() const
+{
+    if (exposure_ <= 0.0)
+        return 0.0;
+    return static_cast<double>(events_) / exposure_;
+}
+
+PoissonInterval
+RateEstimator::rateInterval(double confidence) const
+{
+    if (exposure_ <= 0.0)
+        return PoissonInterval{0.0, 0.0};
+    return scaleInterval(poissonConfidenceInterval(events_, confidence),
+                         exposure_);
+}
+
+void
+RateEstimator::clear()
+{
+    events_ = 0;
+    exposure_ = 0.0;
+}
+
+} // namespace xser

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Event-rate estimation over an exposure (time, fluence, or runs).
+ *
+ * Every rate the paper reports — upsets per minute, SDCs per fluence,
+ * FIT — is a Poisson count divided by an exposure. RateEstimator carries
+ * both so confidence intervals stay attached to the estimate.
+ */
+
+#ifndef XSER_STATS_RATE_ESTIMATOR_HH
+#define XSER_STATS_RATE_ESTIMATOR_HH
+
+#include <cstdint>
+
+#include "stats/poisson_ci.hh"
+
+namespace xser {
+
+/**
+ * Accumulates an event count against an exposure and produces rate
+ * estimates with exact Poisson confidence intervals.
+ */
+class RateEstimator
+{
+  public:
+    /** Record events (default one) without changing exposure. */
+    void addEvents(uint64_t events = 1) { events_ += events; }
+
+    /** Record exposure (minutes, n/cm^2, device-hours, ...). */
+    void addExposure(double exposure);
+
+    /** Merge another estimator over the same kind of exposure. */
+    void merge(const RateEstimator &other);
+
+    /** Total events. */
+    uint64_t events() const { return events_; }
+
+    /** Total exposure. */
+    double exposure() const { return exposure_; }
+
+    /** Point estimate of events per unit exposure; 0 if no exposure. */
+    double rate() const;
+
+    /** 95 % (by default) confidence interval on the rate. */
+    PoissonInterval rateInterval(double confidence = 0.95) const;
+
+    /** Reset to empty. */
+    void clear();
+
+  private:
+    uint64_t events_ = 0;
+    double exposure_ = 0.0;
+};
+
+} // namespace xser
+
+#endif // XSER_STATS_RATE_ESTIMATOR_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Summary implementation (Welford / Chan merge).
+ */
+
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xser {
+
+void
+Summary::add(double value)
+{
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void
+Summary::merge(const Summary &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double total = static_cast<double>(count_ + other.count_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                           static_cast<double>(other.count_) / total;
+    mean_ += delta * static_cast<double>(other.count_) / total;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+Summary::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Summary::stderrMean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double
+Summary::ciHalfWidth(double z) const
+{
+    return z * stderrMean();
+}
+
+} // namespace xser

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * DvfsGovernor implementation.
+ */
+
+#include "volt/dvfs_governor.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace xser::volt {
+
+DvfsGovernor::DvfsGovernor()
+{
+    // 300 MHz steps from 300 MHz to 2.4 GHz. Nominal voltage slope of
+    // ~28.6 mV per 300 MHz anchored at 980 mV @ 2.4 GHz, floored at
+    // 780 mV -- a pessimistic vendor ladder.
+    for (int step = 1; step <= 8; ++step) {
+        const double frequency = 300e6 * step;
+        const double millivolts =
+            std::max(780.0, 980.0 - 28.6 * static_cast<double>(8 - step));
+        // Snap to the 5 mV regulator grid.
+        const double snapped = 5.0 * std::round(millivolts / 5.0);
+        ladder_.push_back(DvfsState{frequency, snapped});
+    }
+}
+
+DvfsState
+DvfsGovernor::stateFor(double frequency_hz) const
+{
+    if (frequency_hz < 300e6 - 1.0 || frequency_hz > 2.4e9 + 1.0)
+        fatal(msg("frequency ", frequency_hz,
+                  " Hz outside the 300 MHz..2.4 GHz DVFS range"));
+    const DvfsState *best = &ladder_.front();
+    double best_distance = 1e18;
+    for (const auto &state : ladder_) {
+        const double distance = std::fabs(state.frequencyHz - frequency_hz);
+        if (distance < best_distance) {
+            best_distance = distance;
+            best = &state;
+        }
+    }
+    return *best;
+}
+
+OperatingPoint
+DvfsGovernor::operatingPointFor(double frequency_hz) const
+{
+    const DvfsState state = stateFor(frequency_hz);
+    return OperatingPoint{"DVFS", state.pmdMillivolts, 950.0,
+                          state.frequencyHz};
+}
+
+} // namespace xser::volt

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * DVFS governor model.
+ *
+ * The paper *disables* DVFS during the beam study (Section 3.1) because
+ * DVFS would pin nominal voltage to each frequency, defeating the
+ * undervolting analysis. We model the governor anyway: it provides the
+ * per-frequency nominal voltage ladder (300 MHz steps, Section 3.1) that
+ * examples and ablations compare against, and an explicit disable switch
+ * to document the study configuration.
+ */
+
+#ifndef XSER_VOLT_DVFS_GOVERNOR_HH
+#define XSER_VOLT_DVFS_GOVERNOR_HH
+
+#include <vector>
+
+#include "volt/operating_point.hh"
+
+namespace xser::volt {
+
+/** One DVFS ladder entry. */
+struct DvfsState {
+    double frequencyHz;
+    double pmdMillivolts;  ///< vendor nominal for this frequency
+};
+
+/**
+ * Vendor DVFS ladder: frequencies from 300 MHz to 2.4 GHz in 300 MHz
+ * steps, each with a nominal PMD voltage. The ladder is synthetic but
+ * anchored at the two documented points (980 mV @ 2.4 GHz) with a
+ * conservative slope, as vendors set voltages pessimistically
+ * (Section 1).
+ */
+class DvfsGovernor
+{
+  public:
+    DvfsGovernor();
+
+    /** All ladder states, lowest frequency first. */
+    const std::vector<DvfsState> &ladder() const { return ladder_; }
+
+    /** Nominal state for a frequency (nearest ladder step, fatal if
+     *  outside the 300 MHz..2.4 GHz range). */
+    DvfsState stateFor(double frequency_hz) const;
+
+    /** Build an operating point from a ladder state (SoC at nominal). */
+    OperatingPoint operatingPointFor(double frequency_hz) const;
+
+    /** Whether the governor actively manages voltage (off in the study). */
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+
+  private:
+    std::vector<DvfsState> ladder_;
+    bool enabled_ = false;
+};
+
+} // namespace xser::volt
+
+#endif // XSER_VOLT_DVFS_GOVERNOR_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * MicroVirus implementation.
+ */
+
+#include "volt/micro_virus.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace xser::volt {
+
+const std::vector<MicroVirus> &
+standardViruses()
+{
+    // Noise amplitudes relative to the NPB-suite mean, ordered from
+    // gentlest to the worst-case power virus. The spread (~0.85-1.25)
+    // follows the di/dt ranges micro-virus studies report.
+    static const std::vector<MicroVirus> viruses = {
+        {"steady-compute", "sustained ALU throughput, flat current",
+         0.85, 1.05},
+        {"cache-thrash", "L1/L2 conflict misses, bursty fills",
+         1.00, 0.95},
+        {"branch-storm", "misprediction flushes, pipeline refills",
+         1.10, 0.90},
+        {"didt-resonance", "aligned idle-to-burst at the package "
+         "resonance",
+         1.25, 1.10},
+    };
+    return viruses;
+}
+
+VirusCharacterization
+characterizeWithViruses(const VminCharacterizer &characterizer,
+                        const VminSweepConfig &config,
+                        const std::vector<MicroVirus> &viruses)
+{
+    if (viruses.empty())
+        fatal("virus characterization needs at least one virus");
+
+    VirusCharacterization result;
+    double lax = 1e18;
+    double strict = 0.0;
+    for (const MicroVirus &virus : viruses) {
+        VminSweepConfig per_virus = config;
+        per_virus.noiseScale = virus.noiseScale;
+        // Decorrelate runs across viruses.
+        per_virus.seed = config.seed ^ hashString(virus.name);
+        VirusVminResult entry{virus,
+                              characterizer.sweep(per_virus)};
+        lax = std::min(lax, entry.sweep.safeVminMillivolts);
+        strict = std::max(strict, entry.sweep.safeVminMillivolts);
+        result.perVirus.push_back(std::move(entry));
+    }
+    result.safeVminMillivolts = strict;
+    result.vminSpreadMillivolts = strict - lax;
+    return result;
+}
+
+} // namespace xser::volt

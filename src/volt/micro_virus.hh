@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Micro-virus characterization kernels.
+ *
+ * The paper's offline Vmin characterization follows [49]/[57], which
+ * build on dedicated stress kernels ("micro-viruses", [51]) that
+ * maximize supply noise: the safe Vmin must hold under the worst
+ * di/dt behaviour any workload can produce, not just under the
+ * benchmark suite. We model each virus by its supply-noise amplitude
+ * relative to the suite-typical level (scaling the cliff model's
+ * threshold spread) and its activity factor (for power during
+ * characterization).
+ *
+ * The reproduced observation (§4.1): workload variation moves the
+ * measured Vmin by less than one 5 mV regulator step -- which is why
+ * the paper could use a single safe Vmin for the whole suite.
+ */
+
+#ifndef XSER_VOLT_MICRO_VIRUS_HH
+#define XSER_VOLT_MICRO_VIRUS_HH
+
+#include <string>
+#include <vector>
+
+#include "volt/vmin_characterizer.hh"
+
+namespace xser::volt {
+
+/** One characterization stress kernel. */
+struct MicroVirus {
+    std::string name;
+    std::string stresses;    ///< what it maximizes
+    double noiseScale;       ///< supply-noise amplitude vs suite mean
+    double activityFactor;   ///< power activity during the run
+};
+
+/** The standard virus set ([51]-style), worst case last. */
+const std::vector<MicroVirus> &standardViruses();
+
+/** Result of characterizing one virus. */
+struct VirusVminResult {
+    MicroVirus virus;
+    VminSweepResult sweep;
+};
+
+/** Result of a full virus-based characterization. */
+struct VirusCharacterization {
+    std::vector<VirusVminResult> perVirus;
+    /** Highest per-virus safe Vmin: the setting safe for everything. */
+    double safeVminMillivolts = 0.0;
+    /** Spread between the laxest and strictest virus (mV). */
+    double vminSpreadMillivolts = 0.0;
+};
+
+/**
+ * Run the sweep once per virus (each with its noise amplitude) and
+ * combine: the chip's safe Vmin is the maximum over viruses.
+ *
+ * @param characterizer Chip-under-test characterizer.
+ * @param config Base sweep parameters (noiseScale applied per virus).
+ * @param viruses Virus set (default: standardViruses()).
+ */
+VirusCharacterization characterizeWithViruses(
+    const VminCharacterizer &characterizer,
+    const VminSweepConfig &config,
+    const std::vector<MicroVirus> &viruses = standardViruses());
+
+} // namespace xser::volt
+
+#endif // XSER_VOLT_MICRO_VIRUS_HH

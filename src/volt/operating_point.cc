@@ -1,0 +1,62 @@
+/**
+ * @file
+ * OperatingPoint factories (Table 3 of the paper).
+ */
+
+#include "volt/operating_point.hh"
+
+#include <cstdio>
+
+namespace xser::volt {
+
+std::string
+OperatingPoint::label() const
+{
+    char buffer[64];
+    if (frequencyHz >= 1e9) {
+        std::snprintf(buffer, sizeof(buffer), "%.0fmV @ %.1fGHz",
+                      pmdMillivolts, frequencyHz / 1e9);
+    } else {
+        std::snprintf(buffer, sizeof(buffer), "%.0fmV @ %.0fMHz",
+                      pmdMillivolts, frequencyHz / 1e6);
+    }
+    return buffer;
+}
+
+OperatingPoint
+nominalPoint()
+{
+    return OperatingPoint{"Nominal", 980.0, 950.0, 2.4e9};
+}
+
+OperatingPoint
+safePoint()
+{
+    return OperatingPoint{"Safe", 930.0, 925.0, 2.4e9};
+}
+
+OperatingPoint
+vminPoint()
+{
+    return OperatingPoint{"Vmin", 920.0, 920.0, 2.4e9};
+}
+
+OperatingPoint
+vmin900Point()
+{
+    return OperatingPoint{"Vmin@900MHz", 790.0, 950.0, 0.9e9};
+}
+
+std::vector<OperatingPoint>
+paperOperatingPoints()
+{
+    return {nominalPoint(), safePoint(), vminPoint(), vmin900Point()};
+}
+
+std::vector<OperatingPoint>
+points24GHz()
+{
+    return {nominalPoint(), safePoint(), vminPoint()};
+}
+
+} // namespace xser::volt

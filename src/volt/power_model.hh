@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Analytical power model of the X-Gene 2, calibrated to the paper's
+ * measurements (Fig. 9): per-domain dynamic power a*C*V^2*f plus
+ * voltage-dependent leakage. The four measured points are reproduced to
+ * within ~1 %:
+ *
+ *   980/950 mV @ 2.4 GHz -> 20.40 W      930/925 mV @ 2.4 GHz -> 18.63 W
+ *   920/920 mV @ 2.4 GHz -> 18.15 W      790/950 mV @ 900 MHz -> 10.59 W
+ *
+ * Calibration (see power_model.cc): PMD dynamic 11.83 W and SoC dynamic
+ * 6.57 W at nominal, leakage 1.2 W (PMD) + 0.8 W (SoC) with an
+ * exponential voltage slope of 150 mV/e-fold.
+ */
+
+#ifndef XSER_VOLT_POWER_MODEL_HH
+#define XSER_VOLT_POWER_MODEL_HH
+
+#include "volt/operating_point.hh"
+
+namespace xser::volt {
+
+/** Per-component power breakdown in watts. */
+struct PowerBreakdown {
+    double pmdDynamic;
+    double socDynamic;
+    double pmdLeakage;
+    double socLeakage;
+
+    double total() const
+    {
+        return pmdDynamic + socDynamic + pmdLeakage + socLeakage;
+    }
+};
+
+/** Calibration constants (defaults reproduce Fig. 9). */
+struct PowerModelConfig {
+    double pmdDynamicNominalWatts = 11.83;  ///< at 980 mV, 2.4 GHz
+    double socDynamicNominalWatts = 6.57;   ///< at 950 mV
+    double pmdLeakageNominalWatts = 1.2;
+    double socLeakageNominalWatts = 0.8;
+    double leakageSlopeVolts = 0.15;        ///< e-folding of leakage vs V
+    double temperatureCelsius = 45.0;       ///< die temperature
+    double leakageSlopeCelsius = 40.0;      ///< e-folding of leakage vs T
+    double referenceTempCelsius = 45.0;     ///< calibration temperature
+    double pmdNominalVolts = 0.980;
+    double socNominalVolts = 0.950;
+    double nominalFrequencyHz = 2.4e9;
+};
+
+/**
+ * Computes chip power for any operating point and workload activity.
+ */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const PowerModelConfig &config = {});
+
+    const PowerModelConfig &config() const { return config_; }
+
+    /**
+     * Power breakdown at an operating point.
+     *
+     * @param point Voltage/frequency setting.
+     * @param activity Workload activity factor scaling PMD dynamic power
+     *        (1.0 = the suite average the paper reports).
+     */
+    PowerBreakdown breakdown(const OperatingPoint &point,
+                             double activity = 1.0) const;
+
+    /** Total power in watts. */
+    double totalWatts(const OperatingPoint &point,
+                      double activity = 1.0) const;
+
+    /**
+     * Power savings (%) of `point` relative to `baseline` (Fig. 10's
+     * x-series).
+     */
+    double savingsPercent(const OperatingPoint &point,
+                          const OperatingPoint &baseline,
+                          double activity = 1.0) const;
+
+  private:
+    PowerModelConfig config_;
+};
+
+} // namespace xser::volt
+
+#endif // XSER_VOLT_POWER_MODEL_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * ProcessVariation implementation.
+ */
+
+#include "volt/process_variation.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace xser::volt {
+
+ProcessVariation::ProcessVariation(unsigned cores, double sigma_volts,
+                                   uint64_t chip_seed)
+{
+    if (cores == 0)
+        fatal("process variation needs at least one core");
+    Rng rng(chip_seed);
+    offsets_.reserve(cores);
+    for (unsigned core = 0; core < cores; ++core)
+        offsets_.push_back(rng.nextGaussian(0.0, sigma_volts));
+}
+
+double
+ProcessVariation::coreOffsetVolts(unsigned core) const
+{
+    XSER_ASSERT(core < offsets_.size(), "core index out of range");
+    return offsets_[core];
+}
+
+double
+ProcessVariation::worstOffsetVolts() const
+{
+    return *std::max_element(offsets_.begin(), offsets_.end());
+}
+
+unsigned
+ProcessVariation::weakestCore() const
+{
+    return static_cast<unsigned>(
+        std::max_element(offsets_.begin(), offsets_.end()) -
+        offsets_.begin());
+}
+
+} // namespace xser::volt

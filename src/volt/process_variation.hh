@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Per-core process variation.
+ *
+ * Manufacturing-induced parameter fluctuations shift each core's
+ * effective cliff voltage (Section 4.3 discusses how these fluctuations
+ * sharpen at reduced supply). The paper found workload variation
+ * negligible for safe Vmin but core-to-core variation real ([49]); the
+ * characterizer uses the worst core, exactly as a real chip does.
+ */
+
+#ifndef XSER_VOLT_PROCESS_VARIATION_HH
+#define XSER_VOLT_PROCESS_VARIATION_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace xser::volt {
+
+/** Static per-chip process variation sample. */
+class ProcessVariation
+{
+  public:
+    /**
+     * @param cores Number of cores on the chip.
+     * @param sigma_volts Core-to-core cliff offset spread.
+     * @param chip_seed Seed identifying this physical chip.
+     */
+    ProcessVariation(unsigned cores, double sigma_volts,
+                     uint64_t chip_seed);
+
+    /** Cliff-voltage offset of a core (volts; positive = weaker core). */
+    double coreOffsetVolts(unsigned core) const;
+
+    /** Worst (largest) offset across cores; sets the chip's Vmin. */
+    double worstOffsetVolts() const;
+
+    /** Index of the weakest core. */
+    unsigned weakestCore() const;
+
+    unsigned cores() const
+    {
+        return static_cast<unsigned>(offsets_.size());
+    }
+
+  private:
+    std::vector<double> offsets_;
+};
+
+} // namespace xser::volt
+
+#endif // XSER_VOLT_PROCESS_VARIATION_HH

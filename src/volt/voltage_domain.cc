@@ -1,0 +1,63 @@
+/**
+ * @file
+ * VoltageDomain implementation.
+ */
+
+#include "volt/voltage_domain.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace xser::volt {
+
+VoltageDomain::VoltageDomain(const VoltageDomainConfig &config)
+    : config_(config), millivolts_(config.nominalMillivolts)
+{
+    if (config_.nominalMillivolts <= 0.0)
+        fatal(msg("domain '", config_.name, "' needs a positive nominal"));
+    if (config_.stepMillivolts <= 0.0)
+        fatal(msg("domain '", config_.name, "' needs a positive step"));
+    if (config_.floorMillivolts >= config_.nominalMillivolts)
+        fatal(msg("domain '", config_.name, "' floor above nominal"));
+}
+
+void
+VoltageDomain::setMillivolts(double millivolts)
+{
+    if (millivolts > config_.nominalMillivolts + 1e-9 ||
+        millivolts < config_.floorMillivolts - 1e-9) {
+        fatal(msg("domain '", config_.name, "': ", millivolts,
+                  " mV outside [", config_.floorMillivolts, ", ",
+                  config_.nominalMillivolts, "]"));
+    }
+    const double steps_from_nominal =
+        (config_.nominalMillivolts - millivolts) / config_.stepMillivolts;
+    if (std::fabs(steps_from_nominal - std::round(steps_from_nominal)) >
+        1e-6) {
+        fatal(msg("domain '", config_.name, "': ", millivolts,
+                  " mV is off the ", config_.stepMillivolts, " mV grid"));
+    }
+    millivolts_ = millivolts;
+}
+
+void
+VoltageDomain::stepDown(unsigned steps)
+{
+    setMillivolts(millivolts_ -
+                  config_.stepMillivolts * static_cast<double>(steps));
+}
+
+VoltageDomain
+makePmdDomain()
+{
+    return VoltageDomain({"PMD", 980.0, 5.0, 500.0});
+}
+
+VoltageDomain
+makeSocDomain()
+{
+    return VoltageDomain({"SoC", 950.0, 5.0, 500.0});
+}
+
+} // namespace xser::volt

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Voltage domains with regulator semantics matching the X-Gene 2 SLIMpro
+ * interface (Section 3.1): the PMD domain steps in 5 mV increments from
+ * 980 mV, the SoC domain from 950 mV, each independently regulated.
+ */
+
+#ifndef XSER_VOLT_VOLTAGE_DOMAIN_HH
+#define XSER_VOLT_VOLTAGE_DOMAIN_HH
+
+#include <string>
+
+namespace xser::volt {
+
+/** Configuration of one regulated supply domain. */
+struct VoltageDomainConfig {
+    std::string name;          ///< "PMD" or "SoC"
+    double nominalMillivolts;  ///< regulator ceiling
+    double stepMillivolts = 5.0;
+    double floorMillivolts = 500.0;  ///< regulator hardware floor
+};
+
+/**
+ * A regulated supply domain. setMillivolts enforces the regulator's step
+ * granularity and range, mirroring what the SLIMpro firmware accepts.
+ */
+class VoltageDomain
+{
+  public:
+    explicit VoltageDomain(const VoltageDomainConfig &config);
+
+    const std::string &name() const { return config_.name; }
+    double nominalMillivolts() const { return config_.nominalMillivolts; }
+    double millivolts() const { return millivolts_; }
+    double volts() const { return millivolts_ / 1000.0; }
+
+    /**
+     * Request a supply level. Values off the 5 mV grid or outside
+     * [floor, nominal] are a configuration error (fatal), as the real
+     * regulator rejects them.
+     */
+    void setMillivolts(double millivolts);
+
+    /** Step down by n regulator steps. */
+    void stepDown(unsigned steps = 1);
+
+    /** Return to the nominal level. */
+    void resetToNominal() { millivolts_ = config_.nominalMillivolts; }
+
+    /** Guardband exploited so far, in mV (nominal - current). */
+    double guardbandMillivolts() const
+    {
+        return config_.nominalMillivolts - millivolts_;
+    }
+
+  private:
+    VoltageDomainConfig config_;
+    double millivolts_;
+};
+
+/** PMD domain at its Table 1 nominal (980 mV). */
+VoltageDomain makePmdDomain();
+
+/** SoC domain at its Table 1 nominal (950 mV). */
+VoltageDomain makeSocDomain();
+
+} // namespace xser::volt
+
+#endif // XSER_VOLT_VOLTAGE_DOMAIN_HH

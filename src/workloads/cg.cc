@@ -1,0 +1,184 @@
+/**
+ * @file
+ * CG kernel: conjugate gradient on a structured sparse SPD matrix.
+ *
+ * The matrix mirrors NPB CG's character -- indirect column indices and
+ * an SPD system -- built as a diagonally dominant symmetric stencil:
+ * row i couples to i +/- {1, 17, 111} (mod n) with deterministic small
+ * weights and diagonal 8. Column indices live in simulated memory, so a
+ * bit flip there produces either a wrong (but in-range) gather -> SDC,
+ * or an out-of-range index -> trap (application crash), exactly the
+ * failure modes of the real benchmark.
+ */
+
+#include "workloads/kernels.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "sim/rng.hh"
+
+namespace xser::workloads {
+
+namespace {
+
+constexpr std::array<int64_t, 3> couplings = {1, 17, 111};
+
+/** Deterministic symmetric off-diagonal weight for the pair {a, b}. */
+double
+pairWeight(size_t a, size_t b)
+{
+    const size_t lo = std::min(a, b);
+    const size_t hi = std::max(a, b);
+    SplitMix64 mixer(0xc900d1ULL ^ (lo * 1315423911ULL) ^ (hi << 17));
+    // Weights in [-0.5, 0.5]: six of them stay well below the
+    // diagonal's 8, keeping the matrix positive definite.
+    return (static_cast<double>(mixer.next() >> 11) * 0x1.0p-53) - 0.5;
+}
+
+} // namespace
+
+CgWorkload::CgWorkload()
+{
+    traits_.name = "CG";
+    traits_.codeFootprintWords = 480;
+    traits_.tlbFootprintEntries = 3072;
+    traits_.activityFactor = 0.93;
+    // Long FP dependency chains feeding the output make CG
+    // corruption-prone; its irregular gathers stress address paths.
+    traits_.sdcWeight = 1.15;
+    traits_.appCrashWeight = 1.10;
+    traits_.sysCrashWeight = 1.00;
+    traits_.datasetWords = 12 * 1024 * 1024 / 8;
+    traits_.windowLines = 40960;
+}
+
+void
+CgWorkload::onSetUp(RunContext &ctx)
+{
+    auto &memory = ctx.memory();
+    colIdx_ = SimArray<int64_t>(memory, n * nnzPerRow, "cg.colidx");
+    values_ = SimArray<double>(memory, n * nnzPerRow, "cg.values");
+    b_ = SimArray<double>(memory, n, "cg.b");
+    x_ = SimArray<double>(memory, n, "cg.x");
+    r_ = SimArray<double>(memory, n, "cg.r");
+    p_ = SimArray<double>(memory, n, "cg.p");
+    q_ = SimArray<double>(memory, n, "cg.q");
+
+    // Static input: the matrix in CSR-like fixed-width rows.
+    for (size_t i = 0; i < n; ++i) {
+        ctx.setCore(ctx.coreForIndex(i, n));
+        size_t slot = i * nnzPerRow;
+        colIdx_.set(ctx, slot, static_cast<int64_t>(i));
+        values_.set(ctx, slot, 8.0);
+        ++slot;
+        for (int64_t coupling : couplings) {
+            const auto up = static_cast<size_t>(
+                (static_cast<int64_t>(i) + coupling) %
+                static_cast<int64_t>(n));
+            const auto down = static_cast<size_t>(
+                (static_cast<int64_t>(i) - coupling +
+                 static_cast<int64_t>(n)) % static_cast<int64_t>(n));
+            colIdx_.set(ctx, slot, static_cast<int64_t>(up));
+            values_.set(ctx, slot, pairWeight(i, up));
+            ++slot;
+            colIdx_.set(ctx, slot, static_cast<int64_t>(down));
+            values_.set(ctx, slot, pairWeight(i, down));
+            ++slot;
+        }
+        ctx.poll();
+    }
+}
+
+uint64_t
+CgWorkload::approxAccessesPerRun() const
+{
+    // SpMV 16n + vector updates ~10n per iteration, plus init 3n.
+    return (16 + 10) * n * iterations + 3 * n;
+}
+
+WorkloadOutput
+CgWorkload::onRun(RunContext &ctx)
+{
+    WorkloadOutput output;
+
+    // Fresh b and x = 0 every run.
+    for (size_t i = 0; i < n; ++i) {
+        ctx.setCore(ctx.coreForIndex(i, n));
+        const double value =
+            1.0 + 0.5 * std::sin(static_cast<double>(i) * 0.013);
+        b_.set(ctx, i, value);
+        x_.set(ctx, i, 0.0);
+        r_.set(ctx, i, value);
+        p_.set(ctx, i, value);
+        ctx.poll();
+    }
+
+    double rho = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        ctx.setCore(ctx.coreForIndex(i, n));
+        const double ri = r_.get(ctx, i);
+        rho += ri * ri;
+    }
+    const double rho_initial = rho;
+
+    for (unsigned iter = 0; iter < iterations; ++iter) {
+        // q = A p (the indirect gather; validates indices).
+        double p_dot_q = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            ctx.setCore(ctx.coreForIndex(i, n));
+            double sum = 0.0;
+            for (size_t k = 0; k < nnzPerRow; ++k) {
+                const int64_t column = colIdx_.get(ctx, i * nnzPerRow + k);
+                if (column < 0 || column >= static_cast<int64_t>(n)) {
+                    // Corrupted index: the real benchmark dereferences
+                    // a wild pointer here and segfaults.
+                    output.termination = Termination::Trapped;
+                    return output;
+                }
+                sum += values_.get(ctx, i * nnzPerRow + k) *
+                       p_.get(ctx, static_cast<size_t>(column));
+            }
+            q_.set(ctx, i, sum);
+            p_dot_q += p_.get(ctx, i) * sum;
+            ctx.poll();
+        }
+
+        if (p_dot_q == 0.0 || !std::isfinite(p_dot_q))
+            break;  // corrupted into degeneracy; finish with bad output
+        const double alpha = rho / p_dot_q;
+
+        double rho_next = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            ctx.setCore(ctx.coreForIndex(i, n));
+            x_.set(ctx, i, x_.get(ctx, i) + alpha * p_.get(ctx, i));
+            const double ri = r_.get(ctx, i) - alpha * q_.get(ctx, i);
+            r_.set(ctx, i, ri);
+            rho_next += ri * ri;
+            ctx.poll();
+        }
+
+        const double beta = rho == 0.0 ? 0.0 : rho_next / rho;
+        rho = rho_next;
+        for (size_t i = 0; i < n; ++i) {
+            ctx.setCore(ctx.coreForIndex(i, n));
+            p_.set(ctx, i, r_.get(ctx, i) + beta * p_.get(ctx, i));
+            ctx.poll();
+        }
+    }
+
+    SignatureBuilder signature;
+    for (size_t i = 0; i < n; ++i) {
+        ctx.setCore(ctx.coreForIndex(i, n));
+        signature.add(x_.get(ctx, i));
+        ctx.poll();
+    }
+    signature.add(rho);
+    output.signature = signature.finish();
+    output.verified =
+        std::isfinite(rho) && rho < 1e-10 * rho_initial;
+    return output;
+}
+
+} // namespace xser::workloads

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * FT kernel: 2-D complex FFT round trip.
+ *
+ * Mirrors NPB FT's strided radix-2 butterflies over a power-of-two
+ * grid: forward transform over rows then columns, inverse transform
+ * back, and a round-trip verification against the pristine input
+ * (NPB FT verifies evolved checksums; the round trip exercises the
+ * same access pattern with an equally strict check).
+ */
+
+#include "workloads/kernels.hh"
+
+#include <cmath>
+
+#include "sim/rng.hh"
+
+namespace xser::workloads {
+
+namespace {
+
+/** Bit-reverse a logDim-bit index. */
+inline size_t
+bitReverse(size_t value, unsigned bits)
+{
+    size_t reversed = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+        reversed = (reversed << 1) | (value & 1);
+        value >>= 1;
+    }
+    return reversed;
+}
+
+} // namespace
+
+FtWorkload::FtWorkload()
+{
+    traits_.name = "FT";
+    traits_.codeFootprintWords = 560;
+    traits_.tlbFootprintEntries = 2048;
+    traits_.activityFactor = 1.05;
+    // Every datum feeds every output point: corrupted values spread
+    // globally, making FT SDC-heavy.
+    traits_.sdcWeight = 1.20;
+    traits_.appCrashWeight = 0.85;
+    traits_.sysCrashWeight = 0.95;
+    traits_.datasetWords = 8 * 1024 * 1024 / 8;
+    traits_.windowLines = 32768;
+}
+
+void
+FtWorkload::onSetUp(RunContext &ctx)
+{
+    auto &memory = ctx.memory();
+    const size_t points = dim * dim;
+    re_ = SimArray<double>(memory, points, "ft.re");
+    im_ = SimArray<double>(memory, points, "ft.im");
+    re0_ = SimArray<double>(memory, points, "ft.re0");
+    im0_ = SimArray<double>(memory, points, "ft.im0");
+}
+
+uint64_t
+FtWorkload::approxAccessesPerRun() const
+{
+    // Per 1-D FFT: bit-reverse ~4*dim + butterflies 8*dim*logDim/2.
+    const uint64_t fft1 = 4 * dim + 4 * dim * logDim;
+    // rows+cols, forward+inverse, plus init (4/point) and check
+    // (4/point).
+    return 2 * 2 * dim * fft1 + 8 * dim * dim;
+}
+
+void
+FtWorkload::fft1d(RunContext &ctx, bool column, size_t index,
+                  bool inverse)
+{
+    // Element i of this row/column maps to flat offset:
+    const auto flat = [&](size_t i) {
+        return column ? i * dim + index : index * dim + i;
+    };
+
+    // Bit-reversal permutation.
+    for (size_t i = 0; i < dim; ++i) {
+        const size_t j = bitReverse(i, logDim);
+        if (j > i) {
+            const double tr = re_.get(ctx, flat(i));
+            const double ti = im_.get(ctx, flat(i));
+            re_.set(ctx, flat(i), re_.get(ctx, flat(j)));
+            im_.set(ctx, flat(i), im_.get(ctx, flat(j)));
+            re_.set(ctx, flat(j), tr);
+            im_.set(ctx, flat(j), ti);
+        }
+    }
+
+    // Iterative radix-2 butterflies.
+    for (size_t span = 2; span <= dim; span <<= 1) {
+        const double angle =
+            (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(span);
+        const double wr_step = std::cos(angle);
+        const double wi_step = std::sin(angle);
+        for (size_t start = 0; start < dim; start += span) {
+            double wr = 1.0;
+            double wi = 0.0;
+            for (size_t k = 0; k < span / 2; ++k) {
+                const size_t even = flat(start + k);
+                const size_t odd = flat(start + k + span / 2);
+                const double er = re_.get(ctx, even);
+                const double ei = im_.get(ctx, even);
+                const double or_ = re_.get(ctx, odd);
+                const double oi = im_.get(ctx, odd);
+                const double tr = wr * or_ - wi * oi;
+                const double ti = wr * oi + wi * or_;
+                re_.set(ctx, even, er + tr);
+                im_.set(ctx, even, ei + ti);
+                re_.set(ctx, odd, er - tr);
+                im_.set(ctx, odd, ei - ti);
+                const double wr_next = wr * wr_step - wi * wi_step;
+                wi = wr * wi_step + wi * wr_step;
+                wr = wr_next;
+            }
+        }
+    }
+}
+
+WorkloadOutput
+FtWorkload::onRun(RunContext &ctx)
+{
+    WorkloadOutput output;
+    const size_t points = dim * dim;
+
+    // Fresh deterministic input each run, with a pristine copy.
+    SplitMix64 seeder(0xf71e1dULL);
+    for (size_t i = 0; i < points; ++i) {
+        ctx.setCore(ctx.coreForIndex(i, points));
+        const double real =
+            static_cast<double>(seeder.next() >> 11) * 0x1.0p-53;
+        const double imag =
+            static_cast<double>(seeder.next() >> 11) * 0x1.0p-53;
+        re_.set(ctx, i, real);
+        im_.set(ctx, i, imag);
+        re0_.set(ctx, i, real);
+        im0_.set(ctx, i, imag);
+        if ((i & 255) == 0)
+            ctx.poll();
+    }
+
+    // Forward: rows then columns (rows partitioned over cores).
+    for (size_t row = 0; row < dim; ++row) {
+        ctx.setCore(ctx.coreForIndex(row, dim));
+        fft1d(ctx, false, row, false);
+        ctx.poll();
+    }
+    for (size_t col = 0; col < dim; ++col) {
+        ctx.setCore(ctx.coreForIndex(col, dim));
+        fft1d(ctx, true, col, false);
+        ctx.poll();
+    }
+    // Inverse: columns then rows.
+    for (size_t col = 0; col < dim; ++col) {
+        ctx.setCore(ctx.coreForIndex(col, dim));
+        fft1d(ctx, true, col, true);
+        ctx.poll();
+    }
+    for (size_t row = 0; row < dim; ++row) {
+        ctx.setCore(ctx.coreForIndex(row, dim));
+        fft1d(ctx, false, row, true);
+        ctx.poll();
+    }
+
+    // Scale by 1/N^2 and verify the round trip while building the
+    // signature.
+    const double scale = 1.0 / static_cast<double>(points);
+    double max_error = 0.0;
+    SignatureBuilder signature;
+    for (size_t i = 0; i < points; ++i) {
+        ctx.setCore(ctx.coreForIndex(i, points));
+        const double real = re_.get(ctx, i) * scale;
+        const double imag = im_.get(ctx, i) * scale;
+        max_error = std::max(max_error,
+                             std::fabs(real - re0_.get(ctx, i)));
+        max_error = std::max(max_error,
+                             std::fabs(imag - im0_.get(ctx, i)));
+        signature.add(real);
+        signature.add(imag);
+        if ((i & 255) == 0)
+            ctx.poll();
+    }
+    output.signature = signature.finish();
+    output.verified = std::isfinite(max_error) && max_error < 1e-9;
+    return output;
+}
+
+} // namespace xser::workloads

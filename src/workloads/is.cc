@@ -1,0 +1,143 @@
+/**
+ * @file
+ * IS kernel: integer counting sort.
+ *
+ * Mirrors NPB IS: random keys in a bounded range, a scatter histogram,
+ * a rank prefix sum, and a permutation into sorted order. Keys are
+ * loaded from simulated memory and used as indices, so a flipped key
+ * bit either lands in the wrong bucket (SDC) or -- when it leaves the
+ * key range -- traps like the out-of-bounds store the real benchmark
+ * would perform.
+ */
+
+#include "workloads/kernels.hh"
+
+namespace xser::workloads {
+
+namespace {
+
+inline uint64_t
+lcgNext(uint64_t &state)
+{
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state;
+}
+
+} // namespace
+
+IsWorkload::IsWorkload()
+{
+    traits_.name = "IS";
+    traits_.codeFootprintWords = 360;
+    traits_.tlbFootprintEntries = 2048;
+    traits_.activityFactor = 0.98;
+    // Keys double as addresses: corruption often escalates to a crash
+    // rather than silently corrupting output.
+    traits_.sdcWeight = 0.95;
+    traits_.appCrashWeight = 1.25;
+    traits_.sysCrashWeight = 1.00;
+    traits_.datasetWords = 8 * 1024 * 1024 / 8;
+    traits_.windowLines = 32768;
+}
+
+void
+IsWorkload::onSetUp(RunContext &ctx)
+{
+    auto &memory = ctx.memory();
+    keys_ = SimArray<int64_t>(memory, n, "is.keys");
+    hist_ = SimArray<int64_t>(memory, static_cast<size_t>(maxKey),
+                              "is.hist");
+    sorted_ = SimArray<int64_t>(memory, n, "is.sorted");
+}
+
+uint64_t
+IsWorkload::approxAccessesPerRun() const
+{
+    // init n + histogram 3n + prefix 2*maxKey + permute 4n + verify 2n.
+    return 10 * n + 2 * static_cast<uint64_t>(maxKey);
+}
+
+WorkloadOutput
+IsWorkload::onRun(RunContext &ctx)
+{
+    WorkloadOutput output;
+
+    // Fresh keys every run.
+    uint64_t lcg = 0x15aac3ULL;
+    for (size_t i = 0; i < n; ++i) {
+        ctx.setCore(ctx.coreForIndex(i, n));
+        keys_.set(ctx, i,
+                  static_cast<int64_t>(lcgNext(lcg) %
+                                       static_cast<uint64_t>(maxKey)));
+        if ((i & 1023) == 0)
+            ctx.poll();
+    }
+    ctx.setCore(0);
+    for (int64_t k = 0; k < maxKey; ++k)
+        hist_.set(ctx, static_cast<size_t>(k), 0);
+
+    // Histogram (scatter increments).
+    for (size_t i = 0; i < n; ++i) {
+        ctx.setCore(ctx.coreForIndex(i, n));
+        const int64_t key = keys_.get(ctx, i);
+        if (key < 0 || key >= maxKey) {
+            output.termination = Termination::Trapped;
+            return output;
+        }
+        const auto bucket = static_cast<size_t>(key);
+        hist_.set(ctx, bucket, hist_.get(ctx, bucket) + 1);
+        if ((i & 511) == 0)
+            ctx.poll();
+    }
+
+    // Exclusive prefix sum -> starting rank per key value.
+    ctx.setCore(0);
+    int64_t running = 0;
+    for (int64_t k = 0; k < maxKey; ++k) {
+        const int64_t count = hist_.get(ctx, static_cast<size_t>(k));
+        hist_.set(ctx, static_cast<size_t>(k), running);
+        running += count;
+        if ((k & 255) == 0)
+            ctx.poll();
+    }
+
+    // Permute into sorted order.
+    for (size_t i = 0; i < n; ++i) {
+        ctx.setCore(ctx.coreForIndex(i, n));
+        const int64_t key = keys_.get(ctx, i);
+        if (key < 0 || key >= maxKey) {
+            output.termination = Termination::Trapped;
+            return output;
+        }
+        const int64_t rank = hist_.get(ctx, static_cast<size_t>(key));
+        if (rank < 0 || rank >= static_cast<int64_t>(n)) {
+            output.termination = Termination::Trapped;
+            return output;
+        }
+        hist_.set(ctx, static_cast<size_t>(key), rank + 1);
+        sorted_.set(ctx, static_cast<size_t>(rank), key);
+        if ((i & 511) == 0)
+            ctx.poll();
+    }
+
+    // Full-array order verification (NPB IS's partial verification is
+    // also rank-based); doubles as the output signature scan.
+    SignatureBuilder signature;
+    bool ordered = true;
+    int64_t previous = -1;
+    for (size_t i = 0; i < n; ++i) {
+        ctx.setCore(ctx.coreForIndex(i, n));
+        const int64_t value = sorted_.get(ctx, i);
+        if (value < previous)
+            ordered = false;
+        previous = value;
+        signature.add(static_cast<uint64_t>(value));
+        if ((i & 1023) == 0)
+            ctx.poll();
+    }
+    output.signature = signature.finish();
+    output.verified = ordered && running == static_cast<int64_t>(n);
+    return output;
+}
+
+} // namespace xser::workloads

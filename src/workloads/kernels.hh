@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The six miniature NAS Parallel Benchmark kernels (Section 3.3).
+ *
+ * Scale note: the paper uses NPB class A sized to < 5 s wall time; our
+ * kernels are sized to a few hundred thousand simulated memory accesses
+ * per run, with the beam's acceleration factor keeping fluence-per-run
+ * (and hence events-per-run) in the same regime. Access *patterns*
+ * match the originals: CG's indirect sparse traversal, EP's almost
+ * memory-free compute, FT's strided butterflies, IS's scatter
+ * histogram, LU's dependent stencil sweeps, MG's multi-level grids.
+ */
+
+#ifndef XSER_WORKLOADS_KERNELS_HH
+#define XSER_WORKLOADS_KERNELS_HH
+
+#include "workloads/workload.hh"
+
+namespace xser::workloads {
+
+/** CG: conjugate gradient on a sparse symmetric positive-definite
+ *  system (indirect addressing; traps on corrupted column indices). */
+class CgWorkload : public Workload
+{
+  public:
+    CgWorkload();
+    const WorkloadTraits &traits() const override { return traits_; }
+    uint64_t approxAccessesPerRun() const override;
+
+  protected:
+    void onSetUp(RunContext &ctx) override;
+    WorkloadOutput onRun(RunContext &ctx) override;
+
+  private:
+    static constexpr size_t n = 1024;
+    static constexpr size_t nnzPerRow = 7;
+    static constexpr unsigned iterations = 12;
+
+    WorkloadTraits traits_;
+    SimArray<int64_t> colIdx_;
+    SimArray<double> values_;
+    SimArray<double> b_;
+    SimArray<double> x_;
+    SimArray<double> r_;
+    SimArray<double> p_;
+    SimArray<double> q_;
+};
+
+/** EP: embarrassingly parallel Marsaglia-polar Gaussian tallies
+ *  (compute-bound, smallest memory footprint of the suite). */
+class EpWorkload : public Workload
+{
+  public:
+    EpWorkload();
+    const WorkloadTraits &traits() const override { return traits_; }
+    uint64_t approxAccessesPerRun() const override;
+
+  protected:
+    void onSetUp(RunContext &ctx) override;
+    WorkloadOutput onRun(RunContext &ctx) override;
+
+  private:
+    static constexpr size_t samples = 40960;
+    static constexpr size_t batch = 2048;
+    static constexpr size_t annuli = 10;
+
+    WorkloadTraits traits_;
+    SimArray<double> buffer_;   ///< random batch staging
+    SimArray<int64_t> counts_;  ///< per-annulus tallies
+};
+
+/** FT: 2-D complex FFT forward + inverse with round-trip check
+ *  (strided power-of-two butterflies). */
+class FtWorkload : public Workload
+{
+  public:
+    FtWorkload();
+    const WorkloadTraits &traits() const override { return traits_; }
+    uint64_t approxAccessesPerRun() const override;
+
+  protected:
+    void onSetUp(RunContext &ctx) override;
+    WorkloadOutput onRun(RunContext &ctx) override;
+
+  private:
+    static constexpr size_t dim = 64;  ///< 64x64 grid
+    static constexpr unsigned logDim = 6;
+
+    /** In-place 1-D FFT over a row or column of the grid. */
+    void fft1d(RunContext &ctx, bool column, size_t index, bool inverse);
+
+    WorkloadTraits traits_;
+    SimArray<double> re_;
+    SimArray<double> im_;
+    SimArray<double> re0_;  ///< pristine copy for the round-trip check
+    SimArray<double> im0_;
+};
+
+/** IS: integer counting sort (scatter histogram; traps on corrupted
+ *  keys used as indices). */
+class IsWorkload : public Workload
+{
+  public:
+    IsWorkload();
+    const WorkloadTraits &traits() const override { return traits_; }
+    uint64_t approxAccessesPerRun() const override;
+
+  protected:
+    void onSetUp(RunContext &ctx) override;
+    WorkloadOutput onRun(RunContext &ctx) override;
+
+  private:
+    static constexpr size_t n = 32768;
+    static constexpr int64_t maxKey = 2048;
+
+    WorkloadTraits traits_;
+    SimArray<int64_t> keys_;
+    SimArray<int64_t> hist_;
+    SimArray<int64_t> sorted_;
+};
+
+/** LU: SSOR sweeps over a 2-D 5-point system (dependent stencil). */
+class LuWorkload : public Workload
+{
+  public:
+    LuWorkload();
+    const WorkloadTraits &traits() const override { return traits_; }
+    uint64_t approxAccessesPerRun() const override;
+
+  protected:
+    void onSetUp(RunContext &ctx) override;
+    WorkloadOutput onRun(RunContext &ctx) override;
+
+  private:
+    static constexpr size_t dim = 72;
+    static constexpr unsigned sweeps = 8;
+
+    double residualNorm(RunContext &ctx);
+
+    WorkloadTraits traits_;
+    SimArray<double> u_;
+    SimArray<double> rhs_;
+};
+
+/** MG: multigrid V-cycles on a 2-D Poisson problem (multi-scale
+ *  footprints touching several cache levels). */
+class MgWorkload : public Workload
+{
+  public:
+    MgWorkload();
+    const WorkloadTraits &traits() const override { return traits_; }
+    uint64_t approxAccessesPerRun() const override;
+
+  protected:
+    void onSetUp(RunContext &ctx) override;
+    WorkloadOutput onRun(RunContext &ctx) override;
+
+  private:
+    static constexpr size_t fineDim = 64;
+    static constexpr unsigned levels = 3;  ///< 64, 32, 16
+    static constexpr unsigned cycles = 2;
+
+    /** Offsets/dims per level within the flat arrays. */
+    size_t levelDim(unsigned level) const { return fineDim >> level; }
+    size_t levelOffset(unsigned level) const;
+
+    void smooth(RunContext &ctx, unsigned level);
+    void computeResidual(RunContext &ctx, unsigned level);
+    void restrictResidual(RunContext &ctx, unsigned level);
+    void prolongCorrect(RunContext &ctx, unsigned level);
+    double residualNorm(RunContext &ctx, unsigned level);
+
+    WorkloadTraits traits_;
+    SimArray<double> u_;    ///< solution, all levels
+    SimArray<double> rhs_;  ///< right-hand side, all levels
+    SimArray<double> res_;  ///< residual scratch, all levels
+};
+
+} // namespace xser::workloads
+
+#endif // XSER_WORKLOADS_KERNELS_HH

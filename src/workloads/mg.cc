@@ -1,0 +1,231 @@
+/**
+ * @file
+ * MG kernel: 2-D multigrid V-cycles.
+ *
+ * Mirrors NPB MG's defining structure: smoothing, residual, full-
+ * weighting restriction, and bilinear-ish prolongation across a
+ * hierarchy of grids -- so the working set sweeps from L1-resident
+ * coarse grids to L2-sized fine grids within every cycle.
+ */
+
+#include "workloads/kernels.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xser::workloads {
+
+MgWorkload::MgWorkload()
+{
+    traits_.name = "MG";
+    traits_.codeFootprintWords = 760;
+    traits_.tlbFootprintEntries = 1536;
+    traits_.activityFactor = 0.95;
+    traits_.sdcWeight = 1.00;
+    traits_.appCrashWeight = 0.95;
+    traits_.sysCrashWeight = 1.00;
+    traits_.datasetWords = 6 * 1024 * 1024 / 8;
+    traits_.windowLines = 24576;
+}
+
+size_t
+MgWorkload::levelOffset(unsigned level) const
+{
+    size_t offset = 0;
+    for (unsigned l = 0; l < level; ++l)
+        offset += levelDim(l) * levelDim(l);
+    return offset;
+}
+
+void
+MgWorkload::onSetUp(RunContext &ctx)
+{
+    auto &memory = ctx.memory();
+    size_t total = 0;
+    for (unsigned level = 0; level < levels; ++level)
+        total += levelDim(level) * levelDim(level);
+    u_ = SimArray<double>(memory, total, "mg.u");
+    rhs_ = SimArray<double>(memory, total, "mg.rhs");
+    res_ = SimArray<double>(memory, total, "mg.res");
+}
+
+uint64_t
+MgWorkload::approxAccessesPerRun() const
+{
+    // ~24 accesses per fine cell per cycle, with the 4/3 geometric
+    // factor for the coarser levels, plus init and norms.
+    const uint64_t fine = fineDim * fineDim;
+    return cycles * 24 * fine * 4 / 3 + 6 * fine;
+}
+
+void
+MgWorkload::smooth(RunContext &ctx, unsigned level)
+{
+    const size_t d = levelDim(level);
+    const size_t at0 = levelOffset(level);
+    for (size_t i = 1; i + 1 < d; ++i) {
+        ctx.setCore(ctx.coreForIndex(i, d));
+        for (size_t j = 1; j + 1 < d; ++j) {
+            const size_t at = at0 + i * d + j;
+            u_.set(ctx, at,
+                   (rhs_.get(ctx, at) + u_.get(ctx, at - 1) +
+                    u_.get(ctx, at + 1) + u_.get(ctx, at - d) +
+                    u_.get(ctx, at + d)) / 4.0);
+        }
+        ctx.poll();
+    }
+}
+
+void
+MgWorkload::computeResidual(RunContext &ctx, unsigned level)
+{
+    const size_t d = levelDim(level);
+    const size_t at0 = levelOffset(level);
+    for (size_t i = 1; i + 1 < d; ++i) {
+        ctx.setCore(ctx.coreForIndex(i, d));
+        for (size_t j = 1; j + 1 < d; ++j) {
+            const size_t at = at0 + i * d + j;
+            res_.set(ctx, at,
+                     rhs_.get(ctx, at) -
+                         (4.0 * u_.get(ctx, at) - u_.get(ctx, at - 1) -
+                          u_.get(ctx, at + 1) - u_.get(ctx, at - d) -
+                          u_.get(ctx, at + d)));
+        }
+        ctx.poll();
+    }
+}
+
+void
+MgWorkload::restrictResidual(RunContext &ctx, unsigned level)
+{
+    // Full weighting from `level` onto level+1's rhs; coarse u = 0.
+    const size_t fine_d = levelDim(level);
+    const size_t coarse_d = levelDim(level + 1);
+    const size_t fine0 = levelOffset(level);
+    const size_t coarse0 = levelOffset(level + 1);
+    for (size_t i = 0; i < coarse_d; ++i) {
+        ctx.setCore(ctx.coreForIndex(i, coarse_d));
+        for (size_t j = 0; j < coarse_d; ++j) {
+            const size_t at = coarse0 + i * coarse_d + j;
+            u_.set(ctx, at, 0.0);
+            if (i == 0 || j == 0 || i + 1 == coarse_d ||
+                j + 1 == coarse_d) {
+                rhs_.set(ctx, at, 0.0);
+                continue;
+            }
+            const size_t fi = 2 * i;
+            const size_t fj = 2 * j;
+            const size_t c = fine0 + fi * fine_d + fj;
+            const double value =
+                0.25 * res_.get(ctx, c) +
+                0.125 * (res_.get(ctx, c - 1) + res_.get(ctx, c + 1) +
+                         res_.get(ctx, c - fine_d) +
+                         res_.get(ctx, c + fine_d)) +
+                0.0625 * (res_.get(ctx, c - fine_d - 1) +
+                          res_.get(ctx, c - fine_d + 1) +
+                          res_.get(ctx, c + fine_d - 1) +
+                          res_.get(ctx, c + fine_d + 1));
+            rhs_.set(ctx, at, 4.0 * value);
+        }
+        ctx.poll();
+    }
+}
+
+void
+MgWorkload::prolongCorrect(RunContext &ctx, unsigned level)
+{
+    // Inject level+1's correction back into `level` (piecewise
+    // constant over each 2x2 fine block, NPB-style trilinear being the
+    // 3-D analogue).
+    const size_t fine_d = levelDim(level);
+    const size_t coarse_d = levelDim(level + 1);
+    const size_t fine0 = levelOffset(level);
+    const size_t coarse0 = levelOffset(level + 1);
+    for (size_t i = 1; i + 1 < fine_d; ++i) {
+        ctx.setCore(ctx.coreForIndex(i, fine_d));
+        const size_t ci = std::min(i / 2, coarse_d - 1);
+        for (size_t j = 1; j + 1 < fine_d; ++j) {
+            const size_t cj = std::min(j / 2, coarse_d - 1);
+            const size_t fat = fine0 + i * fine_d + j;
+            const size_t cat = coarse0 + ci * coarse_d + cj;
+            u_.set(ctx, fat, u_.get(ctx, fat) + u_.get(ctx, cat));
+        }
+        ctx.poll();
+    }
+}
+
+double
+MgWorkload::residualNorm(RunContext &ctx, unsigned level)
+{
+    computeResidual(ctx, level);
+    const size_t d = levelDim(level);
+    const size_t at0 = levelOffset(level);
+    double norm = 0.0;
+    for (size_t i = 1; i + 1 < d; ++i) {
+        ctx.setCore(ctx.coreForIndex(i, d));
+        for (size_t j = 1; j + 1 < d; ++j) {
+            const double value = res_.get(ctx, at0 + i * d + j);
+            norm += value * value;
+        }
+        ctx.poll();
+    }
+    return std::sqrt(norm);
+}
+
+WorkloadOutput
+MgWorkload::onRun(RunContext &ctx)
+{
+    WorkloadOutput output;
+    const size_t d = fineDim;
+
+    for (size_t i = 0; i < d; ++i) {
+        ctx.setCore(ctx.coreForIndex(i, d));
+        for (size_t j = 0; j < d; ++j) {
+            const size_t at = i * d + j;
+            u_.set(ctx, at, 0.0);
+            const bool interior =
+                i > 0 && j > 0 && i + 1 < d && j + 1 < d;
+            rhs_.set(ctx, at,
+                     interior ? std::sin(0.4 * static_cast<double>(i)) *
+                                    std::sin(0.3 * static_cast<double>(j))
+                              : 0.0);
+        }
+        ctx.poll();
+    }
+
+    const double initial_norm = residualNorm(ctx, 0);
+
+    for (unsigned cycle = 0; cycle < cycles; ++cycle) {
+        // Downstroke.
+        for (unsigned level = 0; level + 1 < levels; ++level) {
+            smooth(ctx, level);
+            computeResidual(ctx, level);
+            restrictResidual(ctx, level);
+        }
+        // Coarsest solve: a few extra smoothing sweeps.
+        for (int i = 0; i < 6; ++i)
+            smooth(ctx, levels - 1);
+        // Upstroke.
+        for (unsigned level = levels - 1; level-- > 0;) {
+            prolongCorrect(ctx, level);
+            smooth(ctx, level);
+        }
+    }
+
+    const double final_norm = residualNorm(ctx, 0);
+
+    SignatureBuilder signature;
+    for (size_t i = 0; i < d * d; ++i) {
+        ctx.setCore(ctx.coreForIndex(i, d * d));
+        signature.add(u_.get(ctx, i));
+        if ((i & 511) == 0)
+            ctx.poll();
+    }
+    signature.add(final_norm);
+    output.signature = signature.finish();
+    output.verified = std::isfinite(final_norm) &&
+                      final_norm < 0.5 * initial_norm;
+    return output;
+}
+
+} // namespace xser::workloads

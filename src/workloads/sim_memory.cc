@@ -1,0 +1,42 @@
+/**
+ * @file
+ * RunContext implementation.
+ */
+
+#include "workloads/sim_memory.hh"
+
+#include "sim/logging.hh"
+
+namespace xser::workloads {
+
+RunContext::RunContext(mem::MemorySystem *memory, QuantumHook quantum,
+                       uint64_t quantum_accesses)
+    : memory_(memory), quantum_(std::move(quantum)),
+      quantumAccesses_(quantum_accesses)
+{
+    XSER_ASSERT(memory_ != nullptr, "run context needs a memory system");
+    if (quantumAccesses_ == 0)
+        fatal("quantum period must be positive");
+    numCores_ = memory_->config().numCores;
+    lastAccesses_ = memory_->accessCount();
+}
+
+unsigned
+RunContext::coreForIndex(size_t index, size_t extent) const
+{
+    if (extent == 0)
+        return 0;
+    const size_t block = (extent + numCores_ - 1) / numCores_;
+    const auto core = static_cast<unsigned>(index / block);
+    return core < numCores_ ? core : numCores_ - 1;
+}
+
+void
+RunContext::firstQuantum()
+{
+    lastAccesses_ = memory_->accessCount();
+    if (quantum_)
+        quantum_();
+}
+
+} // namespace xser::workloads

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Workload shared helpers: signature accumulator and suite factory.
+ */
+
+#include "workloads/workload.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workloads/kernels.hh"
+
+namespace xser::workloads {
+
+void
+SignatureBuilder::add(uint64_t word)
+{
+    hash_ ^= word;
+    hash_ *= 0x100000001b3ULL;
+    // Mix in the position so reorderings cannot cancel.
+    hash_ ^= ++count_;
+    hash_ *= 0x100000001b3ULL;
+}
+
+void
+SignatureBuilder::add(double value)
+{
+    add(std::bit_cast<uint64_t>(value));
+}
+
+std::vector<uint64_t>
+SignatureBuilder::finish() const
+{
+    return {hash_, count_};
+}
+
+uint64_t
+Workload::datasetValue(size_t index) const
+{
+    SplitMix64 mixer(hashString(traits().name) ^
+                     (0x9e3779b97f4a7c15ULL * (index + 1)));
+    return mixer.next();
+}
+
+void
+Workload::setUp(RunContext &ctx)
+{
+    const auto &info = traits();
+    if (info.datasetWords > 0) {
+        dataset_ = SimArray<uint64_t>(ctx.memory(), info.datasetWords,
+                                      info.name + ".dataset");
+        for (size_t i = 0; i < info.datasetWords; ++i) {
+            ctx.setCore(ctx.coreForIndex(i, info.datasetWords));
+            dataset_.set(ctx, i, datasetValue(i));
+            if ((i & 2047) == 0)
+                ctx.poll();
+        }
+    }
+    windowCursor_ = 0;
+    onSetUp(ctx);
+}
+
+bool
+Workload::streamDataset(RunContext &ctx)
+{
+    const auto &info = traits();
+    if (info.datasetWords == 0 || info.windowLines == 0)
+        return true;
+    // One word per 64-byte line: the stride that touches every cache
+    // line exactly once, like a class-A input sweep.
+    constexpr size_t wordsPerLine = 8;
+    const size_t total_lines = info.datasetWords / wordsPerLine;
+    bool clean = true;
+    for (size_t step = 0; step < info.windowLines; ++step) {
+        const size_t line = (windowCursor_ + step) % total_lines;
+        const size_t index = line * wordsPerLine;
+        ctx.setCore(ctx.coreForIndex(step, info.windowLines));
+        if (dataset_.get(ctx, index) != datasetValue(index))
+            clean = false;
+        if ((step & 511) == 0)
+            ctx.poll();
+    }
+    windowCursor_ = (windowCursor_ + info.windowLines) % total_lines;
+    return clean;
+}
+
+WorkloadOutput
+Workload::run(RunContext &ctx)
+{
+    const bool inputs_clean = streamDataset(ctx);
+    WorkloadOutput output = onRun(ctx);
+    if (!inputs_clean && output.termination == Termination::Completed) {
+        // Poison the signature: a real application consuming the
+        // corrupted input would emit a corrupted result.
+        output.signature.push_back(0xbadbadbadbadbadbULL);
+    }
+    return output;
+}
+
+const std::vector<std::string> &
+suiteNames()
+{
+    static const std::vector<std::string> names = {"CG", "LU", "FT",
+                                                   "EP", "MG", "IS"};
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    if (name == "CG")
+        return std::make_unique<CgWorkload>();
+    if (name == "EP")
+        return std::make_unique<EpWorkload>();
+    if (name == "FT")
+        return std::make_unique<FtWorkload>();
+    if (name == "IS")
+        return std::make_unique<IsWorkload>();
+    if (name == "LU")
+        return std::make_unique<LuWorkload>();
+    if (name == "MG")
+        return std::make_unique<MgWorkload>();
+    fatal(msg("unknown workload '", name, "'"));
+}
+
+std::vector<std::unique_ptr<Workload>>
+makeSuite()
+{
+    std::vector<std::unique_ptr<Workload>> suite;
+    for (const auto &name : suiteNames())
+        suite.push_back(makeWorkload(name));
+    return suite;
+}
+
+} // namespace xser::workloads

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Workload interface: miniature NAS Parallel Benchmarks executing
+ * through the simulated hierarchy.
+ *
+ * Each kernel mirrors its NPB namesake's computation and access pattern
+ * at a scale sized so one run simulates tens of milliseconds (the
+ * paper's class-A runs take < 5 s; the beam acceleration factor
+ * compensates, see rad/beam_source.hh). Kernels are written
+ * corruption-tolerant: any data-dependent index is validated before
+ * use, and a violation terminates the run as Trapped -- the simulated
+ * analogue of the segfault a flipped pointer/index causes on real
+ * hardware, which the campaign classifies as an application crash.
+ */
+
+#ifndef XSER_WORKLOADS_WORKLOAD_HH
+#define XSER_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/sim_memory.hh"
+
+namespace xser::workloads {
+
+/** Static characteristics of a workload. */
+struct WorkloadTraits {
+    std::string name;             ///< "CG", "EP", ...
+    size_t codeFootprintWords;    ///< L1I words its code spans
+    size_t tlbFootprintEntries;   ///< TLB entries its pages occupy
+    double activityFactor = 1.0;  ///< PMD dynamic-power scaling
+    /**
+     * Relative weights of the core-logic fault outcomes (AVF-style,
+     * suite mean 1.0): how prone this kernel's live state is to silent
+     * corruption vs crashing when unprotected logic upsets.
+     */
+    double sdcWeight = 1.0;
+    double appCrashWeight = 1.0;
+    double sysCrashWeight = 1.0;
+    /**
+     * Class-A-style input dataset. NPB class A working sets exceed the
+     * 8 MB L3, so the caches stream constantly -- which is what exposes
+     * L3-resident upsets to the ECC checkers. Each run reads a rotating
+     * window of the dataset (one word per cache line) as its "input
+     * loading" phase and validates the values read, so silently
+     * corrupted inputs surface as SDCs exactly like corrupted outputs.
+     */
+    size_t datasetWords = 0;      ///< total dataset size (8-byte words)
+    size_t windowLines = 0;       ///< lines streamed per run
+};
+
+/** How a run ended. */
+enum class Termination {
+    Completed,  ///< ran to completion (output may still mismatch)
+    Trapped,    ///< data-dependent fault (segfault analogue)
+};
+
+/** Output of one run. */
+struct WorkloadOutput {
+    Termination termination = Termination::Completed;
+    std::vector<uint64_t> signature;  ///< output checksum words
+    bool verified = false;            ///< NPB-style internal check
+};
+
+/**
+ * Base class of the six kernels. The base owns the streaming dataset
+ * (allocation, per-run window scan with inline validation); kernels
+ * implement onSetUp/onRun with their computation.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Static characteristics. */
+    virtual const WorkloadTraits &traits() const = 0;
+
+    /**
+     * Allocate and initialize all inputs through the hierarchy. Called
+     * once per session; run() re-initializes everything it mutates, so
+     * repeated runs are independent.
+     */
+    void setUp(RunContext &ctx);
+
+    /**
+     * Execute one run: stream the dataset window, then the kernel.
+     * A corrupted input word poisons the signature so the golden
+     * compare flags it as an SDC.
+     */
+    WorkloadOutput run(RunContext &ctx);
+
+    /** Rough memory accesses per run, for session planning. */
+    virtual uint64_t approxAccessesPerRun() const = 0;
+
+  protected:
+    /** Kernel-specific allocation/initialization. */
+    virtual void onSetUp(RunContext &ctx) = 0;
+
+    /** Kernel-specific execution. */
+    virtual WorkloadOutput onRun(RunContext &ctx) = 0;
+
+  private:
+    /** Deterministic content of dataset word i. */
+    uint64_t datasetValue(size_t index) const;
+
+    /**
+     * Stream the next dataset window (one word per line), validating
+     * contents.
+     *
+     * @return true when every word matched its expected value.
+     */
+    bool streamDataset(RunContext &ctx);
+
+    SimArray<uint64_t> dataset_;
+    size_t windowCursor_ = 0;  ///< rotating line cursor
+};
+
+/**
+ * Streaming FNV-1a signature accumulator used by all kernels to fold
+ * outputs into a compact, order-sensitive checksum.
+ */
+class SignatureBuilder
+{
+  public:
+    /** Fold one 64-bit word. */
+    void add(uint64_t word);
+
+    /** Fold a double's bit pattern. */
+    void add(double value);
+
+    /** Finish: returns {hash, count}. */
+    std::vector<uint64_t> finish() const;
+
+  private:
+    uint64_t hash_ = 0xcbf29ce484222325ULL;
+    uint64_t count_ = 0;
+};
+
+/** The suite in the paper's Fig. 5 order. */
+const std::vector<std::string> &suiteNames();
+
+/** Factory: construct a kernel by name (fatal on unknown name). */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+/** Construct the whole suite. */
+std::vector<std::unique_ptr<Workload>> makeSuite();
+
+} // namespace xser::workloads
+
+#endif // XSER_WORKLOADS_WORKLOAD_HH

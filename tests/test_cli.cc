@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the CLI argument parser and the CSV exporters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "cli/args.hh"
+#include "core/report_export.hh"
+#include "volt/operating_point.hh"
+
+namespace xser {
+namespace {
+
+cli::Args
+parse(std::initializer_list<const char *> tokens)
+{
+    std::vector<const char *> argv = {"xser"};
+    argv.insert(argv.end(), tokens.begin(), tokens.end());
+    return cli::Args::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, CommandAndOptions)
+{
+    const cli::Args args =
+        parse({"session", "--pmd", "920", "--csv", "out.csv"});
+    EXPECT_EQ(args.command(), "session");
+    EXPECT_TRUE(args.has("pmd"));
+    EXPECT_TRUE(args.has("csv"));
+    EXPECT_FALSE(args.has("freq"));
+    EXPECT_EQ(args.get("csv", ""), "out.csv");
+    EXPECT_DOUBLE_EQ(args.getDouble("pmd", 0.0), 920.0);
+    EXPECT_EQ(args.keys().size(), 2u);
+}
+
+TEST(Args, DefaultsWhenAbsent)
+{
+    const cli::Args args = parse({"campaign"});
+    EXPECT_DOUBLE_EQ(args.getDouble("scale", 0.22), 0.22);
+    EXPECT_EQ(args.getUint("seed", 7), 7u);
+    EXPECT_EQ(args.get("csv", "fallback"), "fallback");
+}
+
+TEST(Args, BareFlagBeforeAnotherOption)
+{
+    const cli::Args args = parse({"session", "--verbose", "--pmd",
+                                  "930"});
+    EXPECT_TRUE(args.has("verbose"));
+    EXPECT_EQ(args.get("verbose", "x"), "");
+    EXPECT_DOUBLE_EQ(args.getDouble("pmd", 0.0), 930.0);
+}
+
+TEST(Args, ScientificAndHexNumbers)
+{
+    const cli::Args args =
+        parse({"session", "--fluence", "1.5e10", "--seed", "0xff"});
+    EXPECT_DOUBLE_EQ(args.getDouble("fluence", 0.0), 1.5e10);
+    EXPECT_EQ(args.getUint("seed", 0), 255u);
+}
+
+TEST(ArgsDeath, RejectsGarbageNumbers)
+{
+    const cli::Args args = parse({"session", "--pmd", "abc"});
+    EXPECT_EXIT(args.getDouble("pmd", 0.0),
+                ::testing::ExitedWithCode(1), "expects a number");
+    const cli::Args args2 = parse({"session", "--seed", "12x"});
+    EXPECT_EXIT(args2.getUint("seed", 0),
+                ::testing::ExitedWithCode(1), "expects an integer");
+}
+
+TEST(ArgsDeath, RejectsExtraPositional)
+{
+    EXPECT_EXIT(parse({"session", "bogus"}),
+                ::testing::ExitedWithCode(1), "unexpected positional");
+}
+
+/* ------------------------------ CSV ------------------------------ */
+
+core::SessionResult
+sampleSession()
+{
+    core::SessionResult session;
+    session.point = volt::vminPoint();
+    session.beamFluxPerSecond = 1.5e6;
+    session.fluence = 4.08e10;
+    session.runs = 100;
+    session.events.sdcSilent = 123;
+    session.events.sdcNotified = 7;
+    session.events.appCrash = 3;
+    session.events.sysCrash = 8;
+    session.upsetsDetected = 506;
+    session.totalSramBits = 80000000;
+    session.avgPowerWatts = 18.15;
+    core::WorkloadSessionStats stats;
+    stats.name = "CG";
+    stats.runs = 20;
+    stats.fluence = 8e9;
+    stats.upsetsDetected = 101;
+    session.perWorkload.push_back(stats);
+    return session;
+}
+
+/** Count lines and verify the column count is uniform. */
+void
+checkCsvShape(const std::string &csv, size_t expected_rows)
+{
+    std::istringstream stream(csv);
+    std::string line;
+    size_t rows = 0;
+    size_t columns = 0;
+    while (std::getline(stream, line)) {
+        const size_t commas =
+            static_cast<size_t>(std::count(line.begin(), line.end(),
+                                           ','));
+        if (rows == 0)
+            columns = commas;
+        else
+            EXPECT_EQ(commas, columns) << line;
+        ++rows;
+    }
+    EXPECT_EQ(rows, expected_rows + 1);  // + header
+}
+
+TEST(Csv, SessionsExport)
+{
+    const std::string csv = core::sessionsToCsv({sampleSession()});
+    checkCsvShape(csv, 1);
+    EXPECT_NE(csv.find("pmd_mv"), std::string::npos);
+    EXPECT_NE(csv.find("920"), std::string::npos);
+    EXPECT_NE(csv.find("506"), std::string::npos);
+}
+
+TEST(Csv, WorkloadSlicesExport)
+{
+    const std::string csv =
+        core::workloadSlicesToCsv({sampleSession(), sampleSession()});
+    checkCsvShape(csv, 2);
+    EXPECT_NE(csv.find("CG"), std::string::npos);
+}
+
+TEST(Csv, EdacLevelsExport)
+{
+    const std::string csv = core::edacLevelsToCsv({sampleSession()});
+    checkCsvShape(csv, 4);  // one row per cache level
+    EXPECT_NE(csv.find("L3 Cache"), std::string::npos);
+}
+
+TEST(Csv, SweepExport)
+{
+    volt::VminSweepResult sweep;
+    sweep.steps.push_back(volt::VminStep{920.0, 100, 0, 0.0});
+    sweep.steps.push_back(volt::VminStep{915.0, 100, 7, 0.07});
+    const std::string csv = core::sweepToCsv(sweep);
+    checkCsvShape(csv, 2);
+    EXPECT_NE(csv.find("915"), std::string::npos);
+}
+
+TEST(Csv, WriteFileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "/xser_csv_test.csv";
+    core::writeFile(path, "a,b\n1,2\n");
+    std::FILE *file = std::fopen(path.c_str(), "r");
+    ASSERT_NE(file, nullptr);
+    char buffer[32] = {};
+    const size_t read = std::fread(buffer, 1, sizeof(buffer) - 1, file);
+    std::fclose(file);
+    EXPECT_EQ(std::string(buffer, read), "a,b\n1,2\n");
+}
+
+} // namespace
+} // namespace xser

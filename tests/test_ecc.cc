@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Property tests for the protection codecs: parity detects exactly the
+ * odd flip counts; SECDED(72,64) corrects every single-bit error,
+ * detects every double-bit error, and never reports Clean on a triple.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ecc/parity.hh"
+#include "ecc/secded.hh"
+#include "sim/rng.hh"
+
+namespace xser::ecc {
+namespace {
+
+/** Representative data patterns for exhaustive-ish codec sweeps. */
+std::vector<uint64_t>
+patterns()
+{
+    std::vector<uint64_t> values = {
+        0x0000000000000000ULL, 0xffffffffffffffffULL,
+        0xaaaaaaaaaaaaaaaaULL, 0x5555555555555555ULL,
+        0x0123456789abcdefULL, 0x8000000000000001ULL,
+    };
+    Rng rng(0xecc5eedULL);
+    for (int i = 0; i < 10; ++i)
+        values.push_back(rng.nextU64());
+    return values;
+}
+
+/** Apply a codeword-position flip to a stored (data, check) pair. */
+void
+flipCodewordBit(uint64_t &data, uint8_t &check, int codeword_bit)
+{
+    int data_bit = 0;
+    int check_bit = 0;
+    if (SecdedCodec::codewordIndexToStorage(codeword_bit, data_bit,
+                                            check_bit))
+        data ^= 1ULL << data_bit;
+    else
+        check ^= static_cast<uint8_t>(1u << check_bit);
+}
+
+/* ----------------------------- Parity ---------------------------- */
+
+TEST(Parity, CleanWordPasses)
+{
+    for (uint64_t value : patterns()) {
+        const uint8_t parity = ParityCodec::encode(value);
+        EXPECT_EQ(ParityCodec::check(value, parity),
+                  CheckStatus::Clean);
+    }
+}
+
+TEST(Parity, EverySingleFlipDetected)
+{
+    for (uint64_t value : patterns()) {
+        const uint8_t parity = ParityCodec::encode(value);
+        for (int bit = 0; bit < 64; ++bit) {
+            EXPECT_EQ(ParityCodec::check(value ^ (1ULL << bit), parity),
+                      CheckStatus::ParityError);
+        }
+        // Flip of the parity bit itself is also detected.
+        EXPECT_EQ(ParityCodec::check(value, parity ^ 1),
+                  CheckStatus::ParityError);
+    }
+}
+
+TEST(Parity, DoubleFlipsEscape)
+{
+    // Even flip counts pass parity -- the escape channel the simulator
+    // tracks as silent corruption.
+    const uint64_t value = 0x0123456789abcdefULL;
+    const uint8_t parity = ParityCodec::encode(value);
+    Rng rng(42);
+    for (int trial = 0; trial < 200; ++trial) {
+        const int a = static_cast<int>(rng.nextBounded(64));
+        int b = static_cast<int>(rng.nextBounded(64));
+        while (b == a)
+            b = static_cast<int>(rng.nextBounded(64));
+        const uint64_t corrupted =
+            value ^ (1ULL << a) ^ (1ULL << b);
+        EXPECT_EQ(ParityCodec::check(corrupted, parity),
+                  CheckStatus::Clean);
+    }
+}
+
+/* ----------------------------- SECDED ---------------------------- */
+
+TEST(Secded, CleanWordDecodesClean)
+{
+    for (uint64_t value : patterns()) {
+        const uint8_t check = SecdedCodec::encode(value);
+        const SecdedResult result = SecdedCodec::decode(value, check);
+        EXPECT_EQ(result.status, CheckStatus::Clean);
+        EXPECT_EQ(result.data, value);
+        EXPECT_EQ(result.check, check);
+    }
+}
+
+/** Every one of the 72 single-bit flips must be exactly repaired. */
+class SecdedSingleBit : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SecdedSingleBit, CorrectedExactly)
+{
+    const int codeword_bit = GetParam();
+    for (uint64_t value : patterns()) {
+        uint64_t data = value;
+        uint8_t check = SecdedCodec::encode(value);
+        flipCodewordBit(data, check, codeword_bit);
+        const SecdedResult result = SecdedCodec::decode(data, check);
+        EXPECT_EQ(result.status, CheckStatus::CorrectedSingle);
+        EXPECT_EQ(result.data, value) << "bit " << codeword_bit;
+        EXPECT_EQ(result.check, SecdedCodec::encode(value));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, SecdedSingleBit,
+                         ::testing::Range(0, 72));
+
+TEST(Secded, EveryDoubleFlipDetected)
+{
+    const uint64_t value = 0x0123456789abcdefULL;
+    const uint8_t check = SecdedCodec::encode(value);
+    for (int a = 0; a < 72; ++a) {
+        for (int b = a + 1; b < 72; ++b) {
+            uint64_t data = value;
+            uint8_t stored = check;
+            flipCodewordBit(data, stored, a);
+            flipCodewordBit(data, stored, b);
+            const SecdedResult result = SecdedCodec::decode(data, stored);
+            EXPECT_EQ(result.status, CheckStatus::DetectedDouble)
+                << "bits " << a << "," << b;
+        }
+    }
+}
+
+TEST(Secded, TripleFlipsNeverReadClean)
+{
+    // Odd flip counts always trip the overall parity: a triple either
+    // miscorrects (reported CorrectedSingle, possibly with wrong data)
+    // or is flagged uncorrectable -- but never reads Clean. This is
+    // the mechanism behind Section 6.2's SDC-with-CE events.
+    const uint64_t value = 0xfeedfacecafebeefULL;
+    const uint8_t check = SecdedCodec::encode(value);
+    Rng rng(7);
+    int miscorrections = 0;
+    const int trials = 2000;
+    for (int trial = 0; trial < trials; ++trial) {
+        int bits[3];
+        bits[0] = static_cast<int>(rng.nextBounded(72));
+        do {
+            bits[1] = static_cast<int>(rng.nextBounded(72));
+        } while (bits[1] == bits[0]);
+        do {
+            bits[2] = static_cast<int>(rng.nextBounded(72));
+        } while (bits[2] == bits[0] || bits[2] == bits[1]);
+
+        uint64_t data = value;
+        uint8_t stored = check;
+        for (int bit : bits)
+            flipCodewordBit(data, stored, bit);
+        const SecdedResult result = SecdedCodec::decode(data, stored);
+        EXPECT_NE(result.status, CheckStatus::Clean);
+        if (result.status == CheckStatus::CorrectedSingle &&
+            result.data != value) {
+            ++miscorrections;
+        }
+    }
+    // Most triples alias to a valid single-bit syndrome and silently
+    // corrupt -- the rate must be substantial for the Section 6.2
+    // channel to exist.
+    EXPECT_GT(miscorrections, trials / 4);
+}
+
+TEST(Secded, QuadFlipsCanAliasToClean)
+{
+    // Even >= 4 flip counts can alias to a valid codeword: fully
+    // silent corruption. Find at least one.
+    const uint64_t value = 0;
+    const uint8_t check = SecdedCodec::encode(value);
+    Rng rng(9);
+    int silent = 0;
+    for (int trial = 0; trial < 20000 && silent == 0; ++trial) {
+        uint64_t data = value;
+        uint8_t stored = check;
+        int bits[4];
+        for (int i = 0; i < 4; ++i) {
+          retry:
+            bits[i] = static_cast<int>(rng.nextBounded(72));
+            for (int j = 0; j < i; ++j) {
+                if (bits[j] == bits[i])
+                    goto retry;
+            }
+        }
+        for (int bit : bits)
+            flipCodewordBit(data, stored, bit);
+        const SecdedResult result = SecdedCodec::decode(data, stored);
+        if (result.status == CheckStatus::Clean && result.data != value)
+            ++silent;
+    }
+    EXPECT_GT(silent, 0);
+}
+
+TEST(Secded, EncodeIsDeterministic)
+{
+    for (uint64_t value : patterns())
+        EXPECT_EQ(SecdedCodec::encode(value), SecdedCodec::encode(value));
+}
+
+TEST(Secded, CodewordStorageMappingIsBijective)
+{
+    int data_seen = 0;
+    int check_seen = 0;
+    std::vector<bool> data_hit(64, false);
+    std::vector<bool> check_hit(8, false);
+    for (int codeword_bit = 0; codeword_bit < SecdedCodec::codewordBits;
+         ++codeword_bit) {
+        int data_bit = -1;
+        int check_bit = -1;
+        if (SecdedCodec::codewordIndexToStorage(codeword_bit, data_bit,
+                                                check_bit)) {
+            ASSERT_GE(data_bit, 0);
+            ASSERT_LT(data_bit, 64);
+            EXPECT_FALSE(data_hit[data_bit]);
+            data_hit[data_bit] = true;
+            ++data_seen;
+        } else {
+            ASSERT_GE(check_bit, 0);
+            ASSERT_LT(check_bit, 8);
+            EXPECT_FALSE(check_hit[check_bit]);
+            check_hit[check_bit] = true;
+            ++check_seen;
+        }
+    }
+    EXPECT_EQ(data_seen, 64);
+    EXPECT_EQ(check_seen, 8);
+}
+
+TEST(EccTypes, ReportingHelpers)
+{
+    EXPECT_TRUE(reportsCorrected(CheckStatus::CorrectedSingle));
+    EXPECT_TRUE(reportsCorrected(CheckStatus::Miscorrected));
+    EXPECT_FALSE(reportsCorrected(CheckStatus::Clean));
+    EXPECT_TRUE(reportsUncorrected(CheckStatus::DetectedDouble));
+    EXPECT_FALSE(reportsUncorrected(CheckStatus::ParityError));
+}
+
+} // namespace
+} // namespace xser::ecc

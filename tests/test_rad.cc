@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Tests for the radiation module: flux environments, voltage-scaled
+ * cross sections, the MBU model, the Poisson beam, and the Eq. 1/Eq. 2
+ * estimator pipeline against the paper's own published numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "mem/memory_system.hh"
+#include "rad/beam_source.hh"
+#include "rad/cross_section_model.hh"
+#include "rad/fit_math.hh"
+#include "rad/flux_environment.hh"
+#include "rad/mbu_model.hh"
+#include "rad/raw_ser_extrapolation.hh"
+#include "sim/rng.hh"
+
+namespace xser::rad {
+namespace {
+
+/* ------------------------- FluxEnvironment ----------------------- */
+
+TEST(FluxEnvironment, ReferenceValues)
+{
+    EXPECT_NEAR(nycSeaLevel().perHour(), 13.0, 1e-9);
+    EXPECT_DOUBLE_EQ(tnfBeamCenter().neutronsPerCm2PerSecond, 2.5e6);
+    EXPECT_DOUBLE_EQ(tnfBeamHalo().neutronsPerCm2PerSecond, 1.5e6);
+}
+
+TEST(FluxEnvironment, HaloAcceleration)
+{
+    // 1.5e6 n/cm^2/s over 13 n/cm^2/h -> ~4.15e8 acceleration. This is
+    // what turns 1651 beam minutes into 1.3e6 NYC-years (Table 2).
+    EXPECT_NEAR(accelerationOverNyc(tnfBeamHalo()), 4.15e8, 0.01e8);
+}
+
+TEST(FluxEnvironment, AltitudeScaling)
+{
+    EXPECT_NEAR(atAltitude(0.0).perHour(), 13.0, 1e-9);
+    // Denver (~1600 m): roughly 3x sea level.
+    const double denver = atAltitude(1600.0).perHour() / 13.0;
+    EXPECT_GT(denver, 2.5);
+    EXPECT_LT(denver, 3.7);
+}
+
+TEST(FluxEnvironmentDeath, RejectsAbsurdAltitude)
+{
+    EXPECT_EXIT(atAltitude(-5.0), ::testing::ExitedWithCode(1),
+                "altitude");
+}
+
+/* ------------------------ CrossSectionModel ---------------------- */
+
+TEST(CrossSectionModel, NominalIsSigma0)
+{
+    CrossSectionModel model;
+    for (auto level : {mem::CacheLevel::Tlb, mem::CacheLevel::L1,
+                       mem::CacheLevel::L2}) {
+        EXPECT_DOUBLE_EQ(model.bitCrossSection(level, 0.980),
+                         model.sensitivity(level).sigma0Cm2PerBit);
+    }
+    // L3 is a SoC-domain array: nominal is 950 mV.
+    EXPECT_DOUBLE_EQ(model.bitCrossSection(mem::CacheLevel::L3, 0.950),
+                     model.sensitivity(mem::CacheLevel::L3)
+                         .sigma0Cm2PerBit);
+}
+
+TEST(CrossSectionModel, GrowsExponentiallyWithUndervolt)
+{
+    CrossSectionModel model;
+    const double at_nominal =
+        model.bitCrossSection(mem::CacheLevel::L2, 0.980);
+    const double at_920 =
+        model.bitCrossSection(mem::CacheLevel::L2, 0.920);
+    const double at_790 =
+        model.bitCrossSection(mem::CacheLevel::L2, 0.790);
+    EXPECT_GT(at_920, at_nominal);
+    EXPECT_GT(at_790, at_920);
+    // k = 2.4 /V: effective slope fitted so *detected* L2 rates track
+    // the paper's Fig. 6/7 ratios through the demand+scrub pipeline.
+    EXPECT_NEAR(at_920 / at_nominal, std::exp(2.4 * 0.060), 1e-9);
+    EXPECT_NEAR(at_790 / at_nominal, std::exp(2.4 * 0.190), 1e-9);
+}
+
+TEST(CrossSectionModel, SusceptibilityRatio)
+{
+    CrossSectionModel model;
+    EXPECT_DOUBLE_EQ(
+        model.susceptibilityRatio(mem::CacheLevel::L1, 0.980), 1.0);
+    EXPECT_GT(model.susceptibilityRatio(mem::CacheLevel::L1, 0.790),
+              2.0);
+}
+
+TEST(CrossSectionModel, OverrideSensitivity)
+{
+    CrossSectionModel model;
+    ArraySensitivity custom{2.0e-15, 1.0, 0.9};
+    model.setSensitivity(mem::CacheLevel::L1, custom);
+    EXPECT_DOUBLE_EQ(model.bitCrossSection(mem::CacheLevel::L1, 0.9),
+                     2.0e-15);
+}
+
+/* ----------------------------- MbuModel -------------------------- */
+
+TEST(MbuModel, FractionGrowsWithUndervoltAndCaps)
+{
+    MbuModel model;
+    EXPECT_DOUBLE_EQ(model.mbuFraction(0.0), 0.06);
+    EXPECT_GT(model.mbuFraction(0.10), model.mbuFraction(0.0));
+    EXPECT_LE(model.mbuFraction(2.0), 0.60);  // capped
+}
+
+TEST(MbuModel, ClusterSizeDistribution)
+{
+    MbuModel model;
+    Rng rng(11);
+    const int n = 100000;
+    int multi = 0;
+    int size_counts[5] = {0, 0, 0, 0, 0};
+    for (int i = 0; i < n; ++i) {
+        const unsigned size = model.sampleClusterSize(0.0, rng);
+        ASSERT_GE(size, 1u);
+        ASSERT_LE(size, 4u);
+        ++size_counts[size];
+        multi += size > 1 ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(multi) / n, 0.06, 0.01);
+    // Conditional split ~ 0.72 / 0.20 / 0.08.
+    EXPECT_NEAR(static_cast<double>(size_counts[2]) / multi, 0.72,
+                0.05);
+    EXPECT_NEAR(static_cast<double>(size_counts[4]) / multi, 0.08,
+                0.03);
+}
+
+/* ---------------------------- BeamSource ------------------------- */
+
+mem::MemorySystemConfig
+tinyConfig()
+{
+    mem::MemorySystemConfig config;
+    config.numCores = 2;
+    config.l1iBytes = 4 * 1024;
+    config.l1dBytes = 4 * 1024;
+    config.l1dAssociativity = 2;
+    config.l2Bytes = 16 * 1024;
+    config.l2Associativity = 4;
+    config.l3Bytes = 64 * 1024;
+    config.l3Associativity = 8;
+    config.tlbWordsPerCore = 64;
+    return config;
+}
+
+TEST(BeamSource, FluenceAccounting)
+{
+    mem::EdacReporter reporter;
+    mem::MemorySystem memory(tinyConfig(), &reporter);
+    CrossSectionModel xsection;
+    MbuModel mbu;
+    BeamConfig config;
+    config.timeScale = 1.0;
+    BeamSource beam(config, &xsection, &mbu, memory.beamTargets());
+    beam.advance(ticks::fromSeconds(2.0));
+    EXPECT_NEAR(beam.fluence(), 1.5e6 * 2.0, 1.0);
+    beam.setTimeScale(10.0);
+    beam.advance(ticks::fromSeconds(1.0));
+    EXPECT_NEAR(beam.fluence(), 1.5e6 * 2.0 + 1.5e7, 10.0);
+}
+
+TEST(BeamSource, UpsetCountMatchesExpectation)
+{
+    mem::EdacReporter reporter;
+    mem::MemorySystem memory(tinyConfig(), &reporter);
+    CrossSectionModel xsection;
+    MbuModel mbu;
+    BeamConfig config;
+    config.timeScale = 1e6;  // accelerate to get statistics
+    BeamSource beam(config, &xsection, &mbu, memory.beamTargets());
+    beam.setVoltages(0.980, 0.950);
+
+    const double expected_rate = beam.expectedEventRatePerSecond();
+    beam.advance(ticks::fromSeconds(5.0));
+    const double expected = expected_rate * 5.0;
+    const double observed = static_cast<double>(beam.upsetEvents());
+    EXPECT_GT(expected, 50.0);  // the test has statistics to work with
+    EXPECT_NEAR(observed, expected, 5.0 * std::sqrt(expected));
+    // Injected flips are visible in the arrays' counters.
+    uint64_t injected = 0;
+    for (const auto &target : memory.beamTargets())
+        injected += target.array->counters().bitFlipsInjected;
+    EXPECT_GE(injected, beam.upsetEvents());
+}
+
+TEST(BeamSource, LowerVoltageMeansMoreUpsets)
+{
+    mem::EdacReporter reporter;
+    mem::MemorySystem memory(tinyConfig(), &reporter);
+    CrossSectionModel xsection;
+    MbuModel mbu;
+    BeamConfig config;
+    config.timeScale = 1e6;
+    BeamSource beam(config, &xsection, &mbu, memory.beamTargets());
+    beam.setVoltages(0.980, 0.950);
+    const double nominal_rate = beam.expectedEventRatePerSecond();
+    beam.setVoltages(0.920, 0.920);
+    const double vmin_rate = beam.expectedEventRatePerSecond();
+    EXPECT_GT(vmin_rate, nominal_rate * 1.05);
+}
+
+TEST(BeamSource, DeterministicUnderSameSeed)
+{
+    mem::EdacReporter reporter1;
+    mem::MemorySystem memory1(tinyConfig(), &reporter1);
+    mem::EdacReporter reporter2;
+    mem::MemorySystem memory2(tinyConfig(), &reporter2);
+    CrossSectionModel xsection;
+    MbuModel mbu;
+    BeamConfig config;
+    config.timeScale = 1e6;
+    config.seed = 77;
+    BeamSource beam1(config, &xsection, &mbu, memory1.beamTargets());
+    BeamSource beam2(config, &xsection, &mbu, memory2.beamTargets());
+    beam1.advance(ticks::fromSeconds(3.0));
+    beam2.advance(ticks::fromSeconds(3.0));
+    EXPECT_EQ(beam1.upsetEvents(), beam2.upsetEvents());
+    // Same flips in the same words.
+    const auto targets1 = memory1.beamTargets();
+    const auto targets2 = memory2.beamTargets();
+    for (size_t t = 0; t < targets1.size(); ++t) {
+        for (size_t w = 0; w < targets1[t].array->words(); ++w) {
+            ASSERT_EQ(targets1[t].array->peek(w),
+                      targets2[t].array->peek(w));
+        }
+    }
+}
+
+TEST(BeamSource, NonInterleavedL3TakesClustersInOneWord)
+{
+    // With an all-MBU model, interleaved arrays scatter a cluster over
+    // distinct words while the non-interleaved L3 takes it in one.
+    // Two dedicated single-array beams keep the exposure low enough
+    // that independent events colliding in a word are (with this
+    // seed) not a factor.
+    CrossSectionModel xsection;
+    MbuConfig mbu_config;
+    mbu_config.mbuFractionNominal = 1.0;  // every event is a cluster
+    mbu_config.sizePmf = {0.0, 0.0, 1.0};  // always 4 bits
+    MbuModel mbu(mbu_config);
+
+    auto max_flips_in_word = [](const mem::SramArray &array) {
+        int max_flips = 0;
+        for (size_t w = 0; w < array.words(); ++w) {
+            if (!array.isCorrupted(w))
+                continue;
+            const uint64_t diff = array.peek(w) ^ array.truth(w);
+            max_flips = std::max(max_flips, std::popcount(diff));
+        }
+        return max_flips;
+    };
+
+    mem::SramArray l3_like("l3", 64 * 1024, mem::Protection::Secded);
+    {
+        BeamConfig config;
+        config.timeScale = 2e3;
+        config.seed = 101;
+        std::vector<mem::BeamTarget> targets = {
+            {&l3_like, mem::CacheLevel::L3, false}};
+        BeamSource beam(config, &xsection, &mbu, targets);
+        beam.advance(ticks::fromSeconds(5.0));
+        ASSERT_GT(beam.upsetEvents(), 10u);
+    }
+    EXPECT_GE(max_flips_in_word(l3_like), 2);
+
+    mem::SramArray l1_like("l1", 64 * 1024, mem::Protection::Parity);
+    {
+        BeamConfig config;
+        config.timeScale = 8e2;
+        config.seed = 101;
+        std::vector<mem::BeamTarget> targets = {
+            {&l1_like, mem::CacheLevel::L1, true}};
+        BeamSource beam(config, &xsection, &mbu, targets);
+        beam.advance(ticks::fromSeconds(5.0));
+        ASSERT_GT(beam.upsetEvents(), 10u);
+    }
+    EXPECT_LE(max_flips_in_word(l1_like), 1);
+}
+
+/* ----------------------- RawSerExtrapolation --------------------- */
+
+TEST(RawSerExtrapolation, NominalMatchesDirectSum)
+{
+    CrossSectionModel xsection;
+    std::vector<SerStructure> structures = {
+        {mem::CacheLevel::L3, 1000000, false},
+        {mem::CacheLevel::L2, 100000, true},
+    };
+    RawSerExtrapolation baseline(&xsection, structures);
+    const double expected =
+        (1e6 * xsection.bitCrossSection(mem::CacheLevel::L3, 0.950) +
+         1e5 * xsection.bitCrossSection(mem::CacheLevel::L2, 0.980)) *
+        13.0 * 1e9;
+    EXPECT_NEAR(baseline.rawFit(0.980, 0.950), expected,
+                1e-9 * expected);
+}
+
+TEST(RawSerExtrapolation, RatiosGrowModestlyAcrossSafeRange)
+{
+    // The baseline's defining property: across the paper's safe
+    // undervolting window, raw SER grows by tens of percent -- far
+    // from the 16x system-level SDC blow-up.
+    mem::EdacReporter reporter;
+    mem::MemorySystem memory(tinyConfig(), &reporter);
+    CrossSectionModel xsection;
+    RawSerExtrapolation baseline(&xsection,
+                                 inventoryFrom(memory.beamTargets()));
+    const auto predictions = baseline.predict(
+        {{0.980, 0.950}, {0.930, 0.925}, {0.920, 0.920}});
+    ASSERT_EQ(predictions.size(), 3u);
+    EXPECT_DOUBLE_EQ(predictions[0].ratioToNominal, 1.0);
+    EXPECT_GT(predictions[1].ratioToNominal, 1.0);
+    EXPECT_GT(predictions[2].ratioToNominal,
+              predictions[1].ratioToNominal);
+    EXPECT_LT(predictions[2].ratioToNominal, 1.5);
+}
+
+TEST(RawSerExtrapolation, PmdOnlyScalingLeavesSocUnchanged)
+{
+    CrossSectionModel xsection;
+    std::vector<SerStructure> structures = {
+        {mem::CacheLevel::L3, 1000000, false},  // SoC domain
+    };
+    RawSerExtrapolation baseline(&xsection, structures);
+    // Dropping only the PMD voltage must not move a SoC-only chip.
+    EXPECT_DOUBLE_EQ(baseline.rawFit(0.980, 0.950),
+                     baseline.rawFit(0.790, 0.950));
+}
+
+/* ----------------------------- FIT math -------------------------- */
+
+TEST(FitMath, Equation1And2AgainstPaperSession1)
+{
+    // Table 2 session 1: 95 events over 1.49e11 n/cm^2 -> total FIT
+    // 8.29 (Fig. 11 shows 8.31 from unrounded inputs).
+    const double dcs = dynamicCrossSection(95, 1.49e11);
+    EXPECT_NEAR(dcs, 6.38e-10, 0.01e-10);
+    EXPECT_NEAR(fitFromDcs(dcs), 8.29, 0.05);
+    EXPECT_NEAR(fitFromCounts(95, 1.49e11), 8.29, 0.05);
+}
+
+TEST(FitMath, PaperSession3SdcFit)
+{
+    // 130 SDCs over 4.08e10 n/cm^2 -> 41.4 FIT (Fig. 11's arrow).
+    EXPECT_NEAR(fitFromCounts(130, 4.08e10), 41.4, 0.3);
+}
+
+TEST(FitMath, NycYearsEquivalentMatchesTable2)
+{
+    // 1.49e11 / 13 per hour -> 1.146e10 h -> 1.31e6 years.
+    EXPECT_NEAR(nycYearsEquivalent(1.49e11) / 1.3e6, 1.0, 0.02);
+    EXPECT_NEAR(nycYearsEquivalent(1.48e10) / 1.3e5, 1.0, 0.02);
+}
+
+TEST(FitMath, FitPerMbitMatchesTable2)
+{
+    // Session 1: 1669 upsets, 1.49e11 n/cm^2, ~10 MB of SRAM -> the
+    // paper reports 2.08 FIT/Mbit. With the exact Table 1 footprint
+    // (incl. check bits) the value lands close to that.
+    const uint64_t bits = static_cast<uint64_t>(
+        (0.25 + 0.25 + 1.0 + 8.0) * 1024 * 1024 * 8);
+    EXPECT_NEAR(fitPerMbit(1669, 1.49e11, bits), 2.08, 0.45);
+}
+
+TEST(FitMath, IntervalBracketsEstimate)
+{
+    const PoissonInterval interval = fitInterval(95, 1.49e11);
+    const double fit = fitFromCounts(95, 1.49e11);
+    EXPECT_LT(interval.lower, fit);
+    EXPECT_GT(interval.upper, fit);
+    EXPECT_GT(interval.lower, fit * 0.6);
+    EXPECT_LT(interval.upper, fit * 1.5);
+}
+
+TEST(FitMath, ExpectedFailuresForFleet)
+{
+    // 10 FIT, 10k devices, 1 year: 10 * 1e4 * 8760 / 1e9 = 0.876.
+    EXPECT_NEAR(expectedFailures(10.0, 1e4, 8760.0), 0.876, 1e-6);
+}
+
+} // namespace
+} // namespace xser::rad
