@@ -5,23 +5,41 @@
  * Every binary runs scaled-down sessions by default so the full bench
  * sweep finishes in minutes; set XSER_FULL=1 for paper-scale stop
  * criteria (Section 3.5: 100+ events or ~1.5e11 n/cm^2 per session)
- * or XSER_SCALE=<f> for anything between.
+ * or XSER_SCALE=<f> for anything between. XSER_JOBS=<n> sets the
+ * worker-thread count for session execution (default: the hardware
+ * count); results are bit-identical for any value.
  */
 
 #ifndef XSER_BENCH_BENCH_COMMON_HH
 #define XSER_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/beam_campaign.hh"
+#include "core/parallel_campaign.hh"
 #include "core/test_session.hh"
 
 namespace xser::bench {
 
 /** Default stop-criteria scale for bench runs. */
 constexpr double defaultScale = 0.22;
+
+/** Worker threads from XSER_JOBS; hardware count when unset. */
+inline unsigned
+benchJobs()
+{
+    if (const char *env = std::getenv("XSER_JOBS")) {
+        const long parsed = std::atol(env);
+        if (parsed > 0)
+            return static_cast<unsigned>(parsed);
+    }
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return hardware > 0 ? hardware : 1;
+}
 
 /** Banner with the scale in effect. */
 inline void
@@ -30,8 +48,19 @@ banner(const char *title)
     const double scale = core::campaignScaleFromEnv(defaultScale);
     std::printf("=== %s ===\n", title);
     std::printf("(session scale %.2f; XSER_FULL=1 for paper-scale "
-                "statistics)\n\n",
-                scale);
+                "statistics; %u worker threads, XSER_JOBS to change)"
+                "\n\n",
+                scale, benchJobs());
+}
+
+/** Run a campaign config on the worker pool (bit-exact replay). */
+inline std::vector<core::SessionResult>
+runCampaign(const core::CampaignConfig &config)
+{
+    core::ParallelRunConfig run;
+    run.jobs = benchJobs();
+    core::ParallelCampaignRunner runner(config, run);
+    return runner.execute().sessions;
 }
 
 /** Run the three 2.4 GHz sessions (980/930/920 mV). */
@@ -39,9 +68,7 @@ inline std::vector<core::SessionResult>
 run24GHzSessions(uint64_t seed = 0x5e5510ULL)
 {
     const double scale = core::campaignScaleFromEnv(defaultScale);
-    core::BeamCampaign campaign(
-        core::BeamCampaign::campaign24GHz(scale, seed));
-    return campaign.execute().sessions;
+    return runCampaign(core::BeamCampaign::campaign24GHz(scale, seed));
 }
 
 /** Run all four paper sessions (adds 790 mV @ 900 MHz). */
@@ -49,9 +76,7 @@ inline std::vector<core::SessionResult>
 runPaperSessions(uint64_t seed = 0x5e5510ULL)
 {
     const double scale = core::campaignScaleFromEnv(defaultScale);
-    core::BeamCampaign campaign(
-        core::BeamCampaign::paperCampaign(scale, seed));
-    return campaign.execute().sessions;
+    return runCampaign(core::BeamCampaign::paperCampaign(scale, seed));
 }
 
 /** Run only the 790 mV @ 900 MHz session. */
@@ -63,8 +88,7 @@ run900MHzSession(uint64_t seed = 0x5e5510ULL)
         core::BeamCampaign::paperCampaign(scale, seed);
     config.sessions.erase(config.sessions.begin(),
                           config.sessions.begin() + 3);
-    core::BeamCampaign campaign(config);
-    return campaign.execute().sessions.front();
+    return runCampaign(config).front();
 }
 
 /** Print a paper-reference block for side-by-side comparison. */

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Wall-clock scaling of the parallel campaign engine: run the same
+ * 8-unit sweep (the paper's four sessions x 2 replicates) at 1/2/4/8
+ * workers, report speedup over the single-worker baseline, and verify
+ * that every worker count produces bit-identical merged results --
+ * the determinism contract that makes the parallel engine safe to use
+ * for the figure benches.
+ *
+ * Speedup tracks the machine: expect ~min(workers, cores, 8) on idle
+ * hardware, and ~1x on a single-core host (the determinism checks
+ * still run there).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/parallel_campaign.hh"
+#include "core/table_printer.hh"
+
+namespace {
+
+using namespace xser;
+
+/** One timed sweep at a given worker count. */
+struct ScalingPoint {
+    unsigned jobs = 0;
+    double seconds = 0.0;
+    core::ReplicatedCampaignResult result;
+};
+
+bool
+aggregatesIdentical(const core::ReplicatedCampaignResult &a,
+                    const core::ReplicatedCampaignResult &b)
+{
+    if (a.sessions.size() != b.sessions.size())
+        return false;
+    for (size_t s = 0; s < a.sessions.size(); ++s) {
+        const core::SessionAggregate &x = a.sessions[s];
+        const core::SessionAggregate &y = b.sessions[s];
+        if (x.runs != y.runs || x.fluence != y.fluence ||
+            x.upsetsDetected != y.upsetsDetected ||
+            x.rawUpsetEvents != y.rawUpsetEvents ||
+            x.events.total() != y.events.total() ||
+            x.fitTotal.mean() != y.fitTotal.mean() ||
+            x.fitTotal.variance() != y.fitTotal.variance())
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Parallel scaling (4 sessions x 2 replicates)");
+    // The scaling story needs units long enough to dwarf the pool
+    // overhead but short enough for a quick sweep; 0.04 keeps the
+    // 8-unit run in the minutes range on one worker.
+    const double scale = core::campaignScaleFromEnv(0.04);
+    const core::CampaignConfig config =
+        core::BeamCampaign::paperCampaign(scale);
+
+    std::vector<ScalingPoint> points;
+    for (unsigned jobs : {1u, 2u, 4u, 8u}) {
+        core::ParallelRunConfig run;
+        run.jobs = jobs;
+        run.replicates = 2;
+        core::ParallelCampaignRunner runner(config, run);
+        const auto start = std::chrono::steady_clock::now();
+        ScalingPoint point;
+        point.result = runner.executeAll();
+        point.seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        point.jobs = jobs;
+        points.push_back(std::move(point));
+    }
+
+    bool identical = true;
+    for (size_t i = 1; i < points.size(); ++i)
+        identical = identical && aggregatesIdentical(points[0].result,
+                                                     points[i].result);
+
+    core::TablePrinter table({"workers", "seconds", "speedup"});
+    for (const auto &point : points) {
+        table.addRow({std::to_string(point.jobs),
+                      core::TablePrinter::fmt(point.seconds, 2),
+                      core::TablePrinter::fmt(
+                          points[0].seconds / point.seconds, 2) +
+                          "x"});
+    }
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("hardware threads: %u\n",
+                std::thread::hardware_concurrency());
+    std::printf("bit-identical across worker counts: %s\n",
+                identical ? "yes" : "NO -- DETERMINISM BROKEN");
+    return identical ? 0 : 1;
+}

@@ -2,12 +2,14 @@
  * @file
  * google-benchmark microbenchmarks of the simulator's hot paths: the
  * SECDED codec, parity, SRAM reads, cache word access, the full
- * hierarchy walk, RNG distributions, and beam advancement. These guard
- * the performance budget that makes paper-scale campaigns tractable.
+ * hierarchy walk, RNG distributions, beam advancement, and the
+ * parallel campaign engine at 1..8 worker threads. These guard the
+ * performance budget that makes paper-scale campaigns tractable.
  */
 
 #include <benchmark/benchmark.h>
 
+#include "core/parallel_campaign.hh"
 #include "ecc/parity.hh"
 #include "ecc/secded.hh"
 #include "mem/cache.hh"
@@ -136,6 +138,35 @@ BM_RngPoissonSmallMean(benchmark::State &state)
         benchmark::DoNotOptimize(rng.nextPoisson(0.3));
 }
 BENCHMARK(BM_RngPoissonSmallMean);
+
+void
+BM_ParallelCampaignUnits(benchmark::State &state)
+{
+    // Eight tiny independent units (4 sessions x 2 replicates) on a
+    // pool sized by the benchmark argument; wall time shrinks with
+    // core count while results stay bit-identical.
+    const auto jobs = static_cast<unsigned>(state.range(0));
+    core::CampaignConfig config = core::BeamCampaign::paperCampaign(0.01);
+    for (auto &session : config.sessions) {
+        session.maxErrorEvents = 4;
+        session.maxFluence = 6e8;
+        session.warmupRounds = 1;
+    }
+    core::ParallelRunConfig run;
+    run.jobs = jobs;
+    run.replicates = 2;
+    for (auto _ : state) {
+        core::ParallelCampaignRunner runner(config, run);
+        benchmark::DoNotOptimize(runner.executeAll());
+    }
+}
+BENCHMARK(BM_ParallelCampaignUnits)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 void
 BM_BeamAdvanceQuantum(benchmark::State &state)

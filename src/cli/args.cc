@@ -6,6 +6,7 @@
 #include "cli/args.hh"
 
 #include <cstdlib>
+#include <thread>
 
 #include "sim/logging.hh"
 
@@ -76,6 +77,24 @@ Args::getUint(const std::string &key, uint64_t fallback) const
         fatal(msg("option --", key, " expects an integer, got '",
                   found->second, "'"));
     return value;
+}
+
+unsigned
+Args::getJobs(const std::string &key, unsigned fallback) const
+{
+    auto found = options_.find(key);
+    if (found == options_.end())
+        return fallback;
+    if (found->second == "auto") {
+        const unsigned hardware = std::thread::hardware_concurrency();
+        return hardware > 0 ? hardware : 1;
+    }
+    const uint64_t value = getUint(key, fallback);
+    if (value == 0 || value > 1024)
+        fatal(msg("option --", key,
+                  " expects 1..1024 or 'auto', got '", found->second,
+                  "'"));
+    return static_cast<unsigned>(value);
 }
 
 std::vector<std::string>

@@ -44,6 +44,12 @@ class Args
     /** Integer option with default (fatal on unparseable value). */
     uint64_t getUint(const std::string &key, uint64_t fallback) const;
 
+    /**
+     * Worker-count option: a positive integer, or "auto" for the
+     * hardware thread count. Fatal on zero or unparseable values.
+     */
+    unsigned getJobs(const std::string &key, unsigned fallback) const;
+
     /** All option keys seen, for unknown-option diagnostics. */
     std::vector<std::string> keys() const;
 

@@ -8,7 +8,8 @@
  *                     [--runs 500] [--csv sweep.csv]
  *   xser session --pmd 920 [--soc 920] [--freq 2.4e9] [--events 50]
  *                [--fluence 2e10] [--seed 7] [--csv out.csv]
- *   xser campaign [--scale 0.22] [--seed 7] [--csv out.csv]
+ *   xser campaign [--scale 0.22] [--seed 7] [--jobs 8|auto]
+ *                 [--replicates 4] [--csv out.csv]
  *   xser tradeoff [--devices 50000] [--checkpoint 30] [--altitude 0]
  *                 [--budget 10]
  */
@@ -21,6 +22,7 @@
 #include "core/beam_campaign.hh"
 #include "core/campaign_report.hh"
 #include "core/fit_calculator.hh"
+#include "core/parallel_campaign.hh"
 #include "core/report_export.hh"
 #include "core/table_printer.hh"
 #include "core/test_session.hh"
@@ -50,6 +52,9 @@ usage()
         "                  --csv FILE\n"
         "  campaign      the paper's four Table 2 sessions\n"
         "                  --scale F --seed S --csv FILE\n"
+        "                  --jobs N|auto --replicates R\n"
+        "                  (bit-identical for any --jobs; see README\n"
+        "                  'Parallel execution')\n"
         "  tradeoff      energy-vs-SDC policy curve for a fleet\n"
         "                  --devices N --checkpoint SEC\n"
         "                  --altitude M --budget SDCS_PER_YEAR\n"
@@ -135,14 +140,44 @@ cmdSession(const cli::Args &args)
     return 0;
 }
 
+void
+printReplicateSummary(const core::ReplicatedCampaignResult &sweep)
+{
+    std::printf("=== replicate summary (%zu replicates) ===\n",
+                sweep.replicates.size());
+    core::TablePrinter table({"session", "events", "fluence",
+                              "FIT total [95% CI]", "FIT mean+-SE"});
+    for (const auto &aggregate : sweep.sessions) {
+        const core::FitBreakdown fit = aggregate.pooledFit();
+        table.addRow(
+            {aggregate.point.label(),
+             std::to_string(aggregate.events.total()),
+             core::TablePrinter::sci(aggregate.fluence, 2),
+             core::TablePrinter::fmt(fit.total.fit, 2) + " [" +
+                 core::TablePrinter::fmt(fit.total.ci.lower, 2) + ", " +
+                 core::TablePrinter::fmt(fit.total.ci.upper, 2) + "]",
+             core::TablePrinter::fmt(aggregate.fitTotal.mean(), 2) +
+                 " +- " +
+                 core::TablePrinter::fmt(
+                     aggregate.fitTotal.stderrMean(), 2)});
+    }
+    std::printf("%s\n", table.toString().c_str());
+}
+
 int
 cmdCampaign(const cli::Args &args)
 {
     const double scale = args.getDouble("scale", 0.22);
     const uint64_t seed = args.getUint("seed", 0x5e5510ULL);
-    core::BeamCampaign campaign(
-        core::BeamCampaign::paperCampaign(scale, seed));
-    const core::CampaignResult result = campaign.execute();
+    core::ParallelRunConfig run;
+    run.jobs = args.getJobs("jobs", 1);
+    run.replicates =
+        static_cast<unsigned>(args.getUint("replicates", 1));
+    run.seed = seed;
+    core::ParallelCampaignRunner runner(
+        core::BeamCampaign::paperCampaign(scale, seed), run);
+    const core::ReplicatedCampaignResult sweep = runner.executeAll();
+    const core::CampaignResult &result = sweep.replicates.front();
     const std::vector<core::SessionResult> at24ghz(
         result.sessions.begin(), result.sessions.begin() + 3);
     std::printf("%s\n", core::formatTable2(result.sessions).c_str());
@@ -155,6 +190,8 @@ cmdCampaign(const cli::Args &args)
     std::printf("%s\n", core::formatFig11(at24ghz).c_str());
     std::printf("%s\n", core::formatFig12(at24ghz).c_str());
     std::printf("%s\n", core::formatFig13(result.sessions[3]).c_str());
+    if (run.replicates > 1)
+        printReplicateSummary(sweep);
     if (args.has("csv"))
         core::writeFile(args.get("csv", ""),
                         core::sessionsToCsv(result.sessions));

@@ -27,23 +27,42 @@ DcsCalculator::estimate(uint64_t events, double fluence,
 DcsBreakdown
 DcsCalculator::breakdown(const SessionResult &session, double confidence)
 {
+    return fromCounts(session.events, session.upsetsDetected,
+                      session.fluence, confidence);
+}
+
+DcsBreakdown
+DcsCalculator::fromCounts(const EventCounts &events,
+                          uint64_t upsets_detected, double fluence,
+                          double confidence)
+{
     DcsBreakdown breakdown;
-    const double fluence = session.fluence;
-    breakdown.sdc =
-        estimate(session.events.sdcTotal(), fluence, confidence);
+    breakdown.sdc = estimate(events.sdcTotal(), fluence, confidence);
     breakdown.sdcSilent =
-        estimate(session.events.sdcSilent, fluence, confidence);
+        estimate(events.sdcSilent, fluence, confidence);
     breakdown.sdcNotified =
-        estimate(session.events.sdcNotified, fluence, confidence);
-    breakdown.appCrash =
-        estimate(session.events.appCrash, fluence, confidence);
-    breakdown.sysCrash =
-        estimate(session.events.sysCrash, fluence, confidence);
-    breakdown.total =
-        estimate(session.events.total(), fluence, confidence);
+        estimate(events.sdcNotified, fluence, confidence);
+    breakdown.appCrash = estimate(events.appCrash, fluence, confidence);
+    breakdown.sysCrash = estimate(events.sysCrash, fluence, confidence);
+    breakdown.total = estimate(events.total(), fluence, confidence);
     breakdown.memoryUpsets =
-        estimate(session.upsetsDetected, fluence, confidence);
+        estimate(upsets_detected, fluence, confidence);
     return breakdown;
+}
+
+DcsBreakdown
+DcsCalculator::pooled(const std::vector<SessionResult> &replicas,
+                      double confidence)
+{
+    EventCounts events;
+    uint64_t upsets = 0;
+    double fluence = 0.0;
+    for (const auto &session : replicas) {
+        events.merge(session.events);
+        upsets += session.upsetsDetected;
+        fluence += session.fluence;
+    }
+    return fromCounts(events, upsets, fluence, confidence);
 }
 
 } // namespace xser::core

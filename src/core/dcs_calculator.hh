@@ -44,6 +44,24 @@ class DcsCalculator
     /** All categories of one session. */
     static DcsBreakdown breakdown(const SessionResult &session,
                                   double confidence = 0.95);
+
+    /**
+     * Mergeable variant: all categories from already-merged event
+     * tallies over a pooled fluence. Poisson pooling is exact, so the
+     * estimate over N merged replicates equals the estimate over one
+     * N-times-longer session.
+     */
+    static DcsBreakdown fromCounts(const EventCounts &events,
+                                   uint64_t upsets_detected,
+                                   double fluence,
+                                   double confidence = 0.95);
+
+    /**
+     * Pool replicate sessions of the same operating point (summed
+     * events over summed fluence) and estimate once.
+     */
+    static DcsBreakdown pooled(const std::vector<SessionResult> &replicas,
+                               double confidence = 0.95);
 };
 
 } // namespace xser::core

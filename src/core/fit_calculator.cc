@@ -25,21 +25,36 @@ FitCalculator::estimate(uint64_t events, double fluence,
 FitBreakdown
 FitCalculator::breakdown(const SessionResult &session, double confidence)
 {
+    return fromCounts(session.events, session.fluence, confidence);
+}
+
+FitBreakdown
+FitCalculator::fromCounts(const EventCounts &events, double fluence,
+                          double confidence)
+{
     FitBreakdown breakdown;
-    const double fluence = session.fluence;
-    breakdown.appCrash =
-        estimate(session.events.appCrash, fluence, confidence);
-    breakdown.sysCrash =
-        estimate(session.events.sysCrash, fluence, confidence);
-    breakdown.sdc =
-        estimate(session.events.sdcTotal(), fluence, confidence);
-    breakdown.total =
-        estimate(session.events.total(), fluence, confidence);
+    breakdown.appCrash = estimate(events.appCrash, fluence, confidence);
+    breakdown.sysCrash = estimate(events.sysCrash, fluence, confidence);
+    breakdown.sdc = estimate(events.sdcTotal(), fluence, confidence);
+    breakdown.total = estimate(events.total(), fluence, confidence);
     breakdown.sdcSilent =
-        estimate(session.events.sdcSilent, fluence, confidence);
+        estimate(events.sdcSilent, fluence, confidence);
     breakdown.sdcNotified =
-        estimate(session.events.sdcNotified, fluence, confidence);
+        estimate(events.sdcNotified, fluence, confidence);
     return breakdown;
+}
+
+FitBreakdown
+FitCalculator::pooled(const std::vector<SessionResult> &replicas,
+                      double confidence)
+{
+    EventCounts events;
+    double fluence = 0.0;
+    for (const auto &session : replicas) {
+        events.merge(session.events);
+        fluence += session.fluence;
+    }
+    return fromCounts(events, fluence, confidence);
 }
 
 } // namespace xser::core

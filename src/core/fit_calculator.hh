@@ -42,6 +42,21 @@ class FitCalculator
     /** All categories of one session. */
     static FitBreakdown breakdown(const SessionResult &session,
                                   double confidence = 0.95);
+
+    /**
+     * Mergeable variant: all categories from already-merged event
+     * tallies over a pooled fluence (exact Poisson pooling).
+     */
+    static FitBreakdown fromCounts(const EventCounts &events,
+                                   double fluence,
+                                   double confidence = 0.95);
+
+    /**
+     * Pool replicate sessions of the same operating point (summed
+     * events over summed fluence) and estimate once.
+     */
+    static FitBreakdown pooled(const std::vector<SessionResult> &replicas,
+                               double confidence = 0.95);
 };
 
 } // namespace xser::core

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * ParallelCampaignRunner implementation.
+ */
+
+#include "core/parallel_campaign.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "core/test_session.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace xser::core {
+
+void
+SessionAggregate::add(const SessionResult &session)
+{
+    if (replicates == 0)
+        point = session.point;
+    ++replicates;
+    runs += session.runs;
+    fluence += session.fluence;
+    events.merge(session.events);
+    upsetsDetected += session.upsetsDetected;
+    rawUpsetEvents += session.rawUpsetEvents;
+    const FitBreakdown fit = FitCalculator::breakdown(session);
+    fitTotal.add(fit.total.fit);
+    fitSdc.add(fit.sdc.fit);
+    upsetsPerMinute.add(session.upsetsPerMinute());
+}
+
+void
+SessionAggregate::merge(const SessionAggregate &other)
+{
+    if (other.replicates == 0)
+        return;
+    if (replicates == 0)
+        point = other.point;
+    replicates += other.replicates;
+    runs += other.runs;
+    fluence += other.fluence;
+    events.merge(other.events);
+    upsetsDetected += other.upsetsDetected;
+    rawUpsetEvents += other.rawUpsetEvents;
+    fitTotal.merge(other.fitTotal);
+    fitSdc.merge(other.fitSdc);
+    upsetsPerMinute.merge(other.upsetsPerMinute);
+}
+
+DcsBreakdown
+SessionAggregate::pooledDcs(double confidence) const
+{
+    return DcsCalculator::fromCounts(events, upsetsDetected, fluence,
+                                     confidence);
+}
+
+FitBreakdown
+SessionAggregate::pooledFit(double confidence) const
+{
+    return FitCalculator::fromCounts(events, fluence, confidence);
+}
+
+ParallelCampaignRunner::ParallelCampaignRunner(
+    const CampaignConfig &config, const ParallelRunConfig &run)
+    : config_(config), run_(run)
+{
+    if (config_.sessions.empty())
+        fatal("parallel campaign needs at least one session");
+    if (run_.replicates == 0)
+        fatal("parallel campaign needs at least one replicate");
+    if (run_.jobs == 0)
+        run_.jobs = 1;
+}
+
+SessionResult
+ParallelCampaignRunner::runUnit(size_t session_index,
+                                unsigned replicate_index) const
+{
+    SessionConfig session_config = config_.sessions[session_index];
+    // Replicate 0 keeps the configured seed (sequential-compatible);
+    // later replicates draw their own coordinate-derived stream.
+    if (replicate_index > 0)
+        session_config.seed = deriveStreamSeed(
+            run_.seed, static_cast<uint64_t>(session_index),
+            replicate_index);
+    cpu::XGene2Platform platform(config_.platform);
+    TestSession session(&platform, session_config);
+    return session.execute();
+}
+
+std::vector<CampaignResult>
+ParallelCampaignRunner::run(unsigned count) const
+{
+    const size_t num_sessions = config_.sessions.size();
+    const size_t units = num_sessions * count;
+
+    // Results land in pre-sized slots keyed by unit index, so worker
+    // scheduling can never reorder them.
+    std::vector<SessionResult> slots(units);
+    auto work = [&](size_t unit) {
+        const size_t replicate = unit / num_sessions;
+        const size_t session = unit % num_sessions;
+        slots[unit] =
+            runUnit(session, static_cast<unsigned>(replicate));
+    };
+
+    const size_t workers =
+        std::min<size_t>(run_.jobs, units);
+    if (workers <= 1) {
+        for (size_t unit = 0; unit < units; ++unit)
+            work(unit);
+    } else {
+        std::atomic<size_t> cursor{0};
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (size_t i = 0; i < workers; ++i) {
+            pool.emplace_back([&]() {
+                for (;;) {
+                    const size_t unit =
+                        cursor.fetch_add(1, std::memory_order_relaxed);
+                    if (unit >= units)
+                        return;
+                    work(unit);
+                }
+            });
+        }
+        for (auto &thread : pool)
+            thread.join();
+    }
+
+    std::vector<CampaignResult> results(count);
+    for (size_t unit = 0; unit < units; ++unit)
+        results[unit / num_sessions].sessions.push_back(
+            std::move(slots[unit]));
+    return results;
+}
+
+CampaignResult
+ParallelCampaignRunner::execute()
+{
+    return std::move(run(1).front());
+}
+
+ReplicatedCampaignResult
+ParallelCampaignRunner::executeAll()
+{
+    ReplicatedCampaignResult result;
+    result.replicates = run(run_.replicates);
+    result.sessions.resize(config_.sessions.size());
+    // Canonical merge order: replicate-major, session-minor, always
+    // after the pool has drained -- never completion order.
+    for (const auto &replicate : result.replicates)
+        for (size_t s = 0; s < replicate.sessions.size(); ++s)
+            result.sessions[s].add(replicate.sessions[s]);
+    return result;
+}
+
+} // namespace xser::core

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Multithreaded campaign execution with deterministic replay.
+ *
+ * A campaign's sessions are mutually independent (each runs on a
+ * freshly constructed platform), and so are whole-campaign replicates
+ * run for confidence-interval tightening. ParallelCampaignRunner
+ * shards those (session, replicate) work units across a fixed-size
+ * worker pool and merges the per-unit results in canonical index
+ * order, so the output is bit-identical for any worker count --
+ * including one -- and for any scheduling of the workers.
+ *
+ * Determinism contract:
+ *  - replicate 0 runs every session with the seed already present in
+ *    its SessionConfig, so results match the sequential
+ *    BeamCampaign::execute() bit for bit;
+ *  - replicate r >= 1 reseeds session s with
+ *    deriveStreamSeed(seed, s, r) (see sim/rng.hh), a pure function of
+ *    the coordinate -- never of thread identity or completion order;
+ *  - merging (event pooling and the Chan-merge Summary accumulators)
+ *    always walks replicates then sessions in index order after all
+ *    units have finished.
+ */
+
+#ifndef XSER_CORE_PARALLEL_CAMPAIGN_HH
+#define XSER_CORE_PARALLEL_CAMPAIGN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/beam_campaign.hh"
+#include "core/dcs_calculator.hh"
+#include "core/fit_calculator.hh"
+#include "stats/summary.hh"
+
+namespace xser::core {
+
+/** Parallel execution parameters. */
+struct ParallelRunConfig {
+    /** Worker threads; 1 executes inline on the calling thread. */
+    unsigned jobs = 1;
+    /** Whole-campaign replicates (>= 1). */
+    unsigned replicates = 1;
+    /** Base seed for replicate stream derivation (replicates >= 1). */
+    uint64_t seed = 0x5e5510ULL;
+};
+
+/**
+ * Mergeable per-session aggregate over replicates: pooled counts for
+ * exact Poisson estimates plus Chan-merged spread statistics of the
+ * per-replicate point estimates.
+ */
+struct SessionAggregate {
+    volt::OperatingPoint point;
+    uint64_t replicates = 0;
+    uint64_t runs = 0;
+    double fluence = 0.0;
+    EventCounts events;
+    uint64_t upsetsDetected = 0;
+    uint64_t rawUpsetEvents = 0;
+
+    /* Per-replicate point-estimate distributions. */
+    Summary fitTotal;
+    Summary fitSdc;
+    Summary upsetsPerMinute;
+
+    /** Fold one replicate's session result in. */
+    void add(const SessionResult &session);
+
+    /** Chan-merge another aggregate of the same session. */
+    void merge(const SessionAggregate &other);
+
+    /** Eq. 1 estimates over the pooled counts. */
+    DcsBreakdown pooledDcs(double confidence = 0.95) const;
+
+    /** Eq. 2 estimates over the pooled counts. */
+    FitBreakdown pooledFit(double confidence = 0.95) const;
+};
+
+/** Outcome of a replicated campaign run. */
+struct ReplicatedCampaignResult {
+    /** Full per-replicate results, indexed [replicate]. */
+    std::vector<CampaignResult> replicates;
+    /** Merged per-session aggregates, indexed like the config. */
+    std::vector<SessionAggregate> sessions;
+};
+
+/**
+ * Executes a campaign's (session, replicate) units on a worker pool.
+ */
+class ParallelCampaignRunner
+{
+  public:
+    ParallelCampaignRunner(const CampaignConfig &config,
+                           const ParallelRunConfig &run);
+
+    /** Execute replicate 0 only (the BeamCampaign-equivalent run). */
+    CampaignResult execute();
+
+    /** Execute all replicates and merge. */
+    ReplicatedCampaignResult executeAll();
+
+  private:
+    /** Run one (session, replicate) unit on a fresh platform. */
+    SessionResult runUnit(size_t session_index,
+                          unsigned replicate_index) const;
+
+    /** Execute `count` replicates and return them in index order. */
+    std::vector<CampaignResult> run(unsigned count) const;
+
+    CampaignConfig config_;
+    ParallelRunConfig run_;
+};
+
+} // namespace xser::core
+
+#endif // XSER_CORE_PARALLEL_CAMPAIGN_HH

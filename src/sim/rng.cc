@@ -156,6 +156,32 @@ Rng::nextPoisson(double mean)
     return static_cast<uint64_t>(draw + 0.5);
 }
 
+namespace {
+
+/** SplitMix64 finalizer: a bijective 64-bit avalanche mix. */
+inline uint64_t
+mix64(uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+uint64_t
+deriveStreamSeed(uint64_t campaign_seed, uint64_t session_index,
+                 uint64_t replicate_index)
+{
+    // Fold each coordinate in with its own additive constant and a
+    // full avalanche round, so (1, 0) and (0, 1) land nowhere near
+    // each other even though XOR alone would alias them.
+    uint64_t state = mix64(campaign_seed + 0x9e3779b97f4a7c15ULL);
+    state = mix64(state ^ (session_index + 0xbf58476d1ce4e5b9ULL));
+    state = mix64(state ^ (replicate_index + 0x94d049bb133111ebULL));
+    return state;
+}
+
 uint64_t
 hashString(const std::string &text)
 {

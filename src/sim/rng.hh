@@ -100,6 +100,20 @@ class Rng
 /** Stable 64-bit FNV-1a hash of a string, for seed derivation. */
 uint64_t hashString(const std::string &text);
 
+/**
+ * Deterministic stream splitter for parallel campaigns.
+ *
+ * Every independent work unit -- session `s` of replicate `r` under a
+ * campaign seed -- gets its own decorrelated Rng seed derived purely
+ * from the coordinate (seed, session, replicate), never from thread
+ * identity or scheduling. Each coordinate passes through a full
+ * SplitMix64 finalizer round, so neighbouring coordinates map to
+ * statistically independent seeds and results are bit-identical for
+ * any worker count.
+ */
+uint64_t deriveStreamSeed(uint64_t campaign_seed, uint64_t session_index,
+                          uint64_t replicate_index);
+
 } // namespace xser
 
 #endif // XSER_SIM_RNG_HH

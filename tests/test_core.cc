@@ -500,6 +500,63 @@ TEST(BeamCampaign, Campaign24GHzDropsThe900MHzSession)
         EXPECT_EQ(session.point.frequencyHz, 2.4e9);
 }
 
+/* ---------------------- golden campaign pins --------------------- */
+
+/*
+ * Golden-value regression: the exact headline numbers of
+ * paperCampaign(scale=0.02, seed=0x5e5510) as produced by the seed
+ * implementation. The reproduced figures flow from these tallies, so
+ * any refactor that shifts them -- a reordered RNG draw, a changed
+ * merge order, an accidental extra sample -- fails here instead of
+ * silently bending Table 2 / Figs. 5-13. Integer tallies are pinned
+ * exactly; accumulated floats get a 1e-6 relative band (they are
+ * bit-stable on one platform, but libm rounding may differ across
+ * toolchains).
+ */
+TEST(GoldenCampaign, HeadlineNumbersPinned)
+{
+    BeamCampaign campaign(BeamCampaign::paperCampaign(0.02, 0x5e5510ULL));
+    const CampaignResult result = campaign.execute();
+    ASSERT_EQ(result.sessions.size(), 4u);
+
+    struct Golden {
+        uint64_t runs;
+        uint64_t upsets;
+        uint64_t sdcSilent;
+        uint64_t sdcNotified;
+        uint64_t appCrash;
+        uint64_t sysCrash;
+        double fluence;
+        double totalFit;
+    };
+    const Golden golden[4] = {
+        // 980 mV @ 2.4 GHz
+        {13, 48, 1, 1, 1, 2, 3.0735515e9, 21.1481734},
+        // 930 mV @ 2.4 GHz
+        {13, 28, 0, 0, 0, 0, 3.09413664e9, 0.0},
+        // 920 mV @ 2.4 GHz (Vmin): the SDC explosion
+        {8, 27, 5, 0, 0, 3, 1.87563489e9, 55.4478917},
+        // 790 mV @ 900 MHz
+        {1, 13, 0, 0, 0, 0, 5.63475351e8, 0.0},
+    };
+
+    for (size_t s = 0; s < 4; ++s) {
+        SCOPED_TRACE("session " + std::to_string(s));
+        const SessionResult &session = result.sessions[s];
+        EXPECT_EQ(session.runs, golden[s].runs);
+        EXPECT_EQ(session.upsetsDetected, golden[s].upsets);
+        EXPECT_EQ(session.events.sdcSilent, golden[s].sdcSilent);
+        EXPECT_EQ(session.events.sdcNotified, golden[s].sdcNotified);
+        EXPECT_EQ(session.events.appCrash, golden[s].appCrash);
+        EXPECT_EQ(session.events.sysCrash, golden[s].sysCrash);
+        EXPECT_NEAR(session.fluence, golden[s].fluence,
+                    1e-6 * golden[s].fluence);
+        const FitBreakdown fit = FitCalculator::breakdown(session);
+        EXPECT_NEAR(fit.total.fit, golden[s].totalFit,
+                    1e-6 * golden[s].totalFit + 1e-9);
+    }
+}
+
 TEST(Outcome, Names)
 {
     EXPECT_STREQ(runOutcomeName(RunOutcome::Success), "Success");

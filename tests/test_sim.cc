@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -157,6 +158,65 @@ TEST(HashString, StableAndDistinct)
     EXPECT_EQ(hashString("beam"), hashString("beam"));
     EXPECT_NE(hashString("beam"), hashString("logic"));
     EXPECT_NE(hashString(""), hashString("a"));
+}
+
+/* -------------------------- stream splitter ---------------------- */
+
+TEST(StreamSplitter, PureFunctionOfCoordinate)
+{
+    EXPECT_EQ(deriveStreamSeed(0x5e5510ULL, 2, 7),
+              deriveStreamSeed(0x5e5510ULL, 2, 7));
+    // Each coordinate axis matters independently.
+    EXPECT_NE(deriveStreamSeed(0x5e5510ULL, 2, 7),
+              deriveStreamSeed(0x5e5510ULL, 3, 7));
+    EXPECT_NE(deriveStreamSeed(0x5e5510ULL, 2, 7),
+              deriveStreamSeed(0x5e5510ULL, 2, 8));
+    EXPECT_NE(deriveStreamSeed(0x5e5510ULL, 2, 7),
+              deriveStreamSeed(0x5e5511ULL, 2, 7));
+    // (session, replicate) = (1, 0) and (0, 1) must not alias -- a
+    // plain XOR fold would collide whole stream families here.
+    EXPECT_NE(deriveStreamSeed(0x5e5510ULL, 1, 0),
+              deriveStreamSeed(0x5e5510ULL, 0, 1));
+}
+
+TEST(StreamSplitter, NoCollisionsOver100kStreams)
+{
+    // 10^5 coordinate tuples -> 10^5 distinct seeds, and distinct
+    // two-draw stream prefixes. A birthday collision in 64 bits over
+    // 1e5 samples has probability ~3e-10, so any hit is a bug.
+    std::set<uint64_t> seeds;
+    std::set<std::pair<uint64_t, uint64_t>> prefixes;
+    for (uint64_t session = 0; session < 10; ++session) {
+        for (uint64_t replicate = 0; replicate < 10000; ++replicate) {
+            const uint64_t seed =
+                deriveStreamSeed(0x5e5510ULL, session, replicate);
+            seeds.insert(seed);
+            Rng rng(seed);
+            const uint64_t first = rng.nextU64();
+            prefixes.insert({first, rng.nextU64()});
+        }
+    }
+    EXPECT_EQ(seeds.size(), 100000u);
+    EXPECT_EQ(prefixes.size(), 100000u);
+}
+
+TEST(StreamSplitter, GoldenValuesStableAcrossPlatforms)
+{
+    // Pinned outputs: the derivation is pure 64-bit integer mixing, so
+    // these must hold on every platform and compiler. A change here
+    // silently reshuffles every replicate of every campaign.
+    EXPECT_EQ(deriveStreamSeed(0, 0, 0), 0x8dbeb87049046b82ULL);
+    EXPECT_EQ(deriveStreamSeed(0x5e5510ULL, 0, 0),
+              0x2963c55a5e1a5bcbULL);
+    EXPECT_EQ(deriveStreamSeed(0x5e5510ULL, 1, 0),
+              0x0365f3b62bbc04a3ULL);
+    EXPECT_EQ(deriveStreamSeed(0x5e5510ULL, 0, 1),
+              0x209c1e2a402af63cULL);
+    EXPECT_EQ(deriveStreamSeed(0x5e5510ULL, 3, 2),
+              0x36757585b73c9ef1ULL);
+    EXPECT_EQ(deriveStreamSeed(0xffffffffffffffffULL, 0xffffffffULL,
+                               0xffffffffULL),
+              0xc117a6b44fe9e075ULL);
 }
 
 /* ----------------------------- Logging --------------------------- */
