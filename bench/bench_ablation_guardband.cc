@@ -24,7 +24,7 @@ main()
     using namespace xser;
     bench::banner("Ablation: guardband ladder (2.4 GHz)");
 
-    const double scale = core::campaignScaleFromEnv(bench::defaultScale);
+    const double scale = bench::campaignScaleFromEnv(bench::defaultScale);
 
     core::TablePrinter table({"PMD (mV)", "SoC (mV)", "power (W)",
                               "upsets/min", "SDC FIT", "total FIT"});

@@ -20,7 +20,7 @@ main()
     using namespace xser;
     bench::banner("Ablation: patrol-scrub pacing (980 mV @ 2.4 GHz)");
 
-    const double scale = core::campaignScaleFromEnv(bench::defaultScale);
+    const double scale = bench::campaignScaleFromEnv(bench::defaultScale);
 
     struct Variant {
         const char *label;

@@ -28,6 +28,28 @@ namespace xser::bench {
 /** Default stop-criteria scale for bench runs. */
 constexpr double defaultScale = 0.22;
 
+/**
+ * Stop-criteria scale from the environment: XSER_FULL=1 selects the
+ * paper-scale campaign, XSER_SCALE=<f> anything between, otherwise
+ * `default_scale`. This lives in the bench harness (not src/core) on
+ * purpose: the determinism contract forbids environment reads inside
+ * the simulation core, and xser-lint enforces it.
+ */
+inline double
+campaignScaleFromEnv(double default_scale)
+{
+    const char *full = std::getenv("XSER_FULL");
+    if (full != nullptr && full[0] == '1')
+        return 1.0;
+    const char *scale = std::getenv("XSER_SCALE");
+    if (scale != nullptr) {
+        const double parsed = std::atof(scale);
+        if (parsed > 0.0)
+            return parsed;
+    }
+    return default_scale;
+}
+
 /** Worker threads from XSER_JOBS; hardware count when unset. */
 inline unsigned
 benchJobs()
@@ -45,7 +67,7 @@ benchJobs()
 inline void
 banner(const char *title)
 {
-    const double scale = core::campaignScaleFromEnv(defaultScale);
+    const double scale = campaignScaleFromEnv(defaultScale);
     std::printf("=== %s ===\n", title);
     std::printf("(session scale %.2f; XSER_FULL=1 for paper-scale "
                 "statistics; %u worker threads, XSER_JOBS to change)"
@@ -67,7 +89,7 @@ runCampaign(const core::CampaignConfig &config)
 inline std::vector<core::SessionResult>
 run24GHzSessions(uint64_t seed = 0x5e5510ULL)
 {
-    const double scale = core::campaignScaleFromEnv(defaultScale);
+    const double scale = campaignScaleFromEnv(defaultScale);
     return runCampaign(core::BeamCampaign::campaign24GHz(scale, seed));
 }
 
@@ -75,7 +97,7 @@ run24GHzSessions(uint64_t seed = 0x5e5510ULL)
 inline std::vector<core::SessionResult>
 runPaperSessions(uint64_t seed = 0x5e5510ULL)
 {
-    const double scale = core::campaignScaleFromEnv(defaultScale);
+    const double scale = campaignScaleFromEnv(defaultScale);
     return runCampaign(core::BeamCampaign::paperCampaign(scale, seed));
 }
 
@@ -83,7 +105,7 @@ runPaperSessions(uint64_t seed = 0x5e5510ULL)
 inline core::SessionResult
 run900MHzSession(uint64_t seed = 0x5e5510ULL)
 {
-    const double scale = core::campaignScaleFromEnv(defaultScale);
+    const double scale = campaignScaleFromEnv(defaultScale);
     core::CampaignConfig config =
         core::BeamCampaign::paperCampaign(scale, seed);
     config.sessions.erase(config.sessions.begin(),

@@ -61,7 +61,7 @@ main()
     // The scaling story needs units long enough to dwarf the pool
     // overhead but short enough for a quick sweep; 0.04 keeps the
     // 8-unit run in the minutes range on one worker.
-    const double scale = core::campaignScaleFromEnv(0.04);
+    const double scale = bench::campaignScaleFromEnv(0.04);
     const core::CampaignConfig config =
         core::BeamCampaign::paperCampaign(scale);
 

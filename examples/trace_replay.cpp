@@ -46,7 +46,7 @@ main(int argc, char **argv)
     const workloads::WorkloadOutput golden = workload.run(ctx);
     std::printf("footprint: %.1f KiB, %llu accesses/run, golden "
                 "signature %016llx\n\n",
-                workload.footprintBytes() / 1024.0,
+                static_cast<double>(workload.footprintBytes()) / 1024.0,
                 static_cast<unsigned long long>(
                     workload.approxAccessesPerRun()),
                 static_cast<unsigned long long>(golden.signature[0]));

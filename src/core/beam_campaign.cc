@@ -6,7 +6,6 @@
 #include "core/beam_campaign.hh"
 
 #include <algorithm>
-#include <cstdlib>
 
 #include "sim/logging.hh"
 
@@ -76,21 +75,6 @@ BeamCampaign::campaign24GHz(double scale, uint64_t seed)
     CampaignConfig config = paperCampaign(scale, seed);
     config.sessions.pop_back();
     return config;
-}
-
-double
-campaignScaleFromEnv(double default_scale)
-{
-    const char *full = std::getenv("XSER_FULL");
-    if (full != nullptr && full[0] == '1')
-        return 1.0;
-    const char *scale = std::getenv("XSER_SCALE");
-    if (scale != nullptr) {
-        const double parsed = std::atof(scale);
-        if (parsed > 0.0)
-            return parsed;
-    }
-    return default_scale;
 }
 
 } // namespace xser::core

@@ -57,13 +57,6 @@ class BeamCampaign
     CampaignConfig config_;
 };
 
-/**
- * Stop-criteria scale from the environment: XSER_FULL=1 selects the
- * paper-scale campaign, otherwise `default_scale` (benches default to
- * a fast fraction).
- */
-double campaignScaleFromEnv(double default_scale);
-
 } // namespace xser::core
 
 #endif // XSER_CORE_BEAM_CAMPAIGN_HH

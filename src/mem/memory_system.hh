@@ -171,7 +171,14 @@ class MemorySystem
     std::vector<std::unique_ptr<RefetchableArray>> l1i_;
     std::vector<std::unique_ptr<RefetchableArray>> tlb_;
 
-    /** DRAM: 4 KiB pages of 512 words, allocated on first touch. */
+    /**
+     * DRAM: 4 KiB pages of 512 words, allocated on first touch.
+     *
+     * Point lookups only -- this map must never be iterated (hash
+     * order would be a hidden input to any walk over it). xser-lint's
+     * unordered-iter rule guards the loops; the declaration itself is
+     * justified in tools/xser-lint-allow.txt.
+     */
     std::unordered_map<Addr, std::vector<uint64_t>> dramPages_;
 
     Addr heapNext_ = 0x10000;  ///< bump pointer (low pages reserved)

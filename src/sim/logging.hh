@@ -68,7 +68,8 @@ std::string
 msg(Args &&...args)
 {
     std::ostringstream os;
-    (os << ... << args);
+    // Comma-fold keeps the zero-argument instantiation warning-free.
+    ((os << args), ...);
     return os.str();
 }
 

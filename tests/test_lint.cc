@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Tests for xser-lint, the determinism & soundness analyzer: fixture
+ * snippets exercising every rule (positive hit, sanctioned site,
+ * allowlisted hit, clean file), allowlist parsing and staleness, and a
+ * scan of the real source tree that must come back clean -- making the
+ * determinism contract itself a tier-1 test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hh"
+
+namespace xser::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** All diagnostics for a snippet pretending to live at `path`. */
+std::vector<Diagnostic>
+lint(const std::string &path, const std::string &source)
+{
+    return lintSource(path, source);
+}
+
+/** Count diagnostics for one rule. */
+size_t
+countRule(const std::vector<Diagnostic> &diags, const std::string &rule)
+{
+    size_t n = 0;
+    for (const auto &diag : diags)
+        if (diag.rule == rule)
+            ++n;
+    return n;
+}
+
+// --------------------------------------------------------------------
+// Rule: wallclock
+// --------------------------------------------------------------------
+
+TEST(LintWallclock, FlagsGetenvInCore)
+{
+    const auto diags =
+        lint("src/core/bad.cc",
+             "const char *v = std::getenv(\"HOME\");\n");
+    ASSERT_EQ(countRule(diags, "wallclock"), 1u);
+    EXPECT_EQ(diags[0].token, "getenv");
+    EXPECT_EQ(diags[0].line, 1);
+}
+
+TEST(LintWallclock, FlagsSystemClockAndChronoInclude)
+{
+    const auto diags =
+        lint("src/sim/bad.cc",
+             "#include <chrono>\n"
+             "auto t = std::chrono::system_clock::now();\n");
+    EXPECT_EQ(countRule(diags, "wallclock"), 2u);
+}
+
+TEST(LintWallclock, CliIsSanctioned)
+{
+    const auto diags =
+        lint("src/cli/args.cc",
+             "const char *v = std::getenv(\"XSER_JOBS\");\n");
+    EXPECT_EQ(countRule(diags, "wallclock"), 0u);
+}
+
+TEST(LintWallclock, MemberNamedClockIsNotFlagged)
+{
+    const auto diags =
+        lint("src/core/ok.cc",
+             "Tick t = platform.clock().now();\n"
+             "SimClock &clock() { return clock_; }\n");
+    EXPECT_EQ(countRule(diags, "wallclock"), 0u);
+}
+
+TEST(LintWallclock, StdTimeIsFlagged)
+{
+    const auto diags =
+        lint("src/core/bad.cc", "auto t = std::time(nullptr);\n");
+    ASSERT_EQ(countRule(diags, "wallclock"), 1u);
+    EXPECT_EQ(diags[0].token, "time");
+}
+
+TEST(LintWallclock, BannedNameInCommentOrStringIsIgnored)
+{
+    const auto diags =
+        lint("src/core/ok.cc",
+             "// getenv and system_clock are banned here\n"
+             "const char *msg = \"never call getenv\";\n"
+             "/* std::chrono::steady_clock too */\n");
+    EXPECT_TRUE(diags.empty());
+}
+
+// --------------------------------------------------------------------
+// Rule: raw-rng
+// --------------------------------------------------------------------
+
+TEST(LintRawRng, FlagsSeededMt19937InCore)
+{
+    // The canonical seeded violation: a stray engine in src/core.
+    const auto diags =
+        lint("src/core/bad.cc", "std::mt19937 gen(42);\n");
+    ASSERT_EQ(countRule(diags, "raw-rng"), 1u);
+    EXPECT_EQ(diags[0].token, "mt19937");
+}
+
+TEST(LintRawRng, FlagsRandomDeviceAndRandomInclude)
+{
+    const auto diags =
+        lint("src/rad/bad.cc",
+             "#include <random>\n"
+             "std::random_device rd;\n"
+             "unsigned x = rand();\n");
+    EXPECT_EQ(countRule(diags, "raw-rng"), 3u);
+}
+
+TEST(LintRawRng, RngImplementationIsSanctioned)
+{
+    const auto diags =
+        lint("src/sim/rng.cc", "std::minstd_rand fallback;\n");
+    EXPECT_EQ(countRule(diags, "raw-rng"), 0u);
+}
+
+TEST(LintRawRng, MemberRandAndDeclarationsAreNotFlagged)
+{
+    const auto diags =
+        lint("src/core/ok.cc",
+             "uint64_t v = rng.rand();\n"    // member access
+             "uint64_t rand(State *s);\n"    // declaration
+             "double x = object->rand();\n"); // member via pointer
+    EXPECT_EQ(countRule(diags, "raw-rng"), 0u);
+}
+
+// --------------------------------------------------------------------
+// Rules: unordered-decl / unordered-iter
+// --------------------------------------------------------------------
+
+TEST(LintUnordered, FlagsDeclarationInOrderSensitiveDirs)
+{
+    const auto diags =
+        lint("src/core/bad.hh",
+             "#ifndef A\n#define A\n"
+             "#include <unordered_map>\n"
+             "std::unordered_map<int, double> totals_;\n"
+             "#endif\n");
+    EXPECT_EQ(countRule(diags, "unordered-decl"), 1u);
+}
+
+TEST(LintUnordered, FlagsRangeForAndIteratorWalks)
+{
+    const auto diags =
+        lint("src/rad/bad.cc",
+             "std::unordered_map<int, double> rates;\n"
+             "double sum = 0;\n"
+             "for (const auto &kv : rates)\n"
+             "    sum += kv.second;\n"
+             "auto it = rates.begin();\n");
+    EXPECT_EQ(countRule(diags, "unordered-decl"), 1u);
+    EXPECT_EQ(countRule(diags, "unordered-iter"), 2u);
+}
+
+TEST(LintUnordered, PointLookupsAreNotIteration)
+{
+    const auto diags =
+        lint("src/mem/ok.cc",
+             "std::unordered_map<uint64_t, int> pages;\n"
+             "pages[addr] = 1;\n"
+             "pages.clear();\n"
+             "auto hit = pages.find(addr);\n");
+    EXPECT_EQ(countRule(diags, "unordered-iter"), 0u);
+    EXPECT_EQ(countRule(diags, "unordered-decl"), 1u);
+}
+
+TEST(LintUnordered, OtherDirectoriesAreUnrestricted)
+{
+    const auto diags =
+        lint("tools/lint/ok.cc",
+             "std::unordered_set<std::string> names;\n"
+             "for (const auto &n : names) { use(n); }\n");
+    EXPECT_EQ(countRule(diags, "unordered-decl"), 0u);
+    EXPECT_EQ(countRule(diags, "unordered-iter"), 0u);
+}
+
+// --------------------------------------------------------------------
+// Rules: header-guard / header-using-namespace
+// --------------------------------------------------------------------
+
+TEST(LintHeader, FlagsMissingGuard)
+{
+    const auto diags =
+        lint("src/volt/bad.hh", "int f();\n");
+    EXPECT_EQ(countRule(diags, "header-guard"), 1u);
+}
+
+TEST(LintHeader, AcceptsIfndefGuardAndPragmaOnce)
+{
+    const auto guarded =
+        lint("src/volt/ok.hh",
+             "#ifndef XSER_VOLT_OK_HH\n#define XSER_VOLT_OK_HH\n"
+             "int f();\n#endif\n");
+    EXPECT_EQ(countRule(guarded, "header-guard"), 0u);
+    const auto pragma_once =
+        lint("src/volt/ok2.hh", "#pragma once\nint f();\n");
+    EXPECT_EQ(countRule(pragma_once, "header-guard"), 0u);
+}
+
+TEST(LintHeader, FlagsUsingNamespaceInHeaderOnly)
+{
+    const auto header =
+        lint("src/ecc/bad.hh",
+             "#pragma once\nusing namespace std;\n");
+    EXPECT_EQ(countRule(header, "header-using-namespace"), 1u);
+    const auto source =
+        lint("tools/diag_order.cc", "using namespace xser;\n");
+    EXPECT_EQ(countRule(source, "header-using-namespace"), 0u);
+}
+
+// --------------------------------------------------------------------
+// Rule: parallel-fanin
+// --------------------------------------------------------------------
+
+TEST(LintFanIn, FlagsThreadingOutsideParallelCampaign)
+{
+    const auto diags =
+        lint("src/mem/bad.cc",
+             "std::thread worker([] {});\n"
+             "std::atomic<double> total{0.0};\n"
+             "std::mutex lock_;\n");
+    EXPECT_EQ(countRule(diags, "parallel-fanin"), 3u);
+}
+
+TEST(LintFanIn, ParallelCampaignIsSanctioned)
+{
+    const auto diags =
+        lint("src/core/parallel_campaign.cc",
+             "std::thread worker([] {});\n"
+             "std::atomic<size_t> cursor{0};\n");
+    EXPECT_EQ(countRule(diags, "parallel-fanin"), 0u);
+}
+
+TEST(LintFanIn, HardwareConcurrencyIsExempt)
+{
+    const auto diags =
+        lint("src/cli/args.cc",
+             "unsigned n = std::thread::hardware_concurrency();\n");
+    EXPECT_EQ(countRule(diags, "parallel-fanin"), 0u);
+}
+
+TEST(LintFanIn, FlagsOmpPragma)
+{
+    const auto diags =
+        lint("src/stats/bad.cc",
+             "#pragma omp parallel for reduction(+ : sum)\n"
+             "for (int i = 0; i < n; ++i) sum += x[i];\n");
+    EXPECT_EQ(countRule(diags, "parallel-fanin"), 1u);
+}
+
+TEST(LintFanIn, UnqualifiedNamesAreNotFlagged)
+{
+    // Locals that merely share a name with a threading primitive.
+    const auto diags =
+        lint("src/volt/ok.cc",
+             "int atomic = 3;\nint mutex = atomic + 1;\n");
+    EXPECT_EQ(countRule(diags, "parallel-fanin"), 0u);
+}
+
+// --------------------------------------------------------------------
+// Diagnostics formatting
+// --------------------------------------------------------------------
+
+TEST(LintFormat, CanonicalFileLineRuleMessage)
+{
+    const auto diags =
+        lint("src/core/bad.cc", "std::mt19937 gen(42);\n");
+    ASSERT_EQ(diags.size(), 1u);
+    const std::string text = diags[0].format();
+    EXPECT_EQ(text.rfind("src/core/bad.cc:1: raw-rng: ", 0), 0u)
+        << text;
+}
+
+// --------------------------------------------------------------------
+// Allowlist parsing
+// --------------------------------------------------------------------
+
+TEST(LintAllowlist, ParsesJustifiedEntries)
+{
+    const Allowlist allow = parseAllowlist(
+        "# harness knob, read before simulation starts\n"
+        "wallclock bench/bench_common.hh token=getenv\n"
+        "\n"
+        "# never iterated\n"
+        "unordered-decl src/mem/memory_system.hh\n",
+        "allow.txt");
+    EXPECT_TRUE(allow.errors.empty());
+    ASSERT_EQ(allow.entries.size(), 2u);
+    EXPECT_EQ(allow.entries[0].rule, "wallclock");
+    EXPECT_EQ(allow.entries[0].token, "getenv");
+    EXPECT_EQ(allow.entries[0].justification,
+              "harness knob, read before simulation starts");
+    EXPECT_TRUE(allow.entries[1].token.empty());
+}
+
+TEST(LintAllowlist, RejectsUnjustifiedEntry)
+{
+    const Allowlist allow =
+        parseAllowlist("wallclock bench/ token=getenv\n", "allow.txt");
+    EXPECT_TRUE(allow.entries.empty());
+    ASSERT_EQ(allow.errors.size(), 1u);
+    EXPECT_EQ(allow.errors[0].rule, "allowlist-justification");
+}
+
+TEST(LintAllowlist, BlankLineSeparatesJustificationFromEntry)
+{
+    // A comment followed by a blank line does not justify the entry.
+    const Allowlist allow = parseAllowlist(
+        "# some unrelated prose\n\nraw-rng src/foo.cc\n", "allow.txt");
+    EXPECT_TRUE(allow.entries.empty());
+    EXPECT_EQ(allow.errors.size(), 1u);
+}
+
+TEST(LintAllowlist, RejectsMalformedFields)
+{
+    const Allowlist allow = parseAllowlist(
+        "# why\nraw-rng src/foo.cc bogus=field\n", "allow.txt");
+    EXPECT_TRUE(allow.entries.empty());
+    ASSERT_EQ(allow.errors.size(), 1u);
+    EXPECT_EQ(allow.errors[0].rule, "allowlist-format");
+}
+
+// --------------------------------------------------------------------
+// Tree scans over a synthetic repository
+// --------------------------------------------------------------------
+
+class LintTreeFixture : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        root_ = fs::path(::testing::TempDir()) /
+                ("xser_lint_" +
+                 std::string(::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->name()));
+        fs::remove_all(root_);
+        fs::create_directories(root_);
+    }
+
+    void TearDown() override { fs::remove_all(root_); }
+
+    void write(const std::string &rel, const std::string &content)
+    {
+        const fs::path path = root_ / rel;
+        fs::create_directories(path.parent_path());
+        std::ofstream out(path);
+        out << content;
+    }
+
+    fs::path root_;
+};
+
+TEST_F(LintTreeFixture, SeededViolationIsCaught)
+{
+    write("src/core/bad.cc", "std::mt19937 gen(42);\n");
+    write("src/core/ok.cc", "int x = 1;\n");
+    LintConfig config;
+    config.root = root_;
+    const LintReport report = runLint(config);
+    EXPECT_EQ(report.filesScanned, 2u);
+    ASSERT_EQ(report.unallowed.size(), 1u);
+    EXPECT_EQ(report.unallowed[0].rule, "raw-rng");
+    EXPECT_EQ(report.unallowed[0].file, "src/core/bad.cc");
+    EXPECT_FALSE(report.clean());
+}
+
+TEST_F(LintTreeFixture, AllowlistedHitIsReportedAsAllowed)
+{
+    write("src/core/bad.cc", "std::mt19937 gen(42);\n");
+    write("allow.txt",
+          "# legacy engine scheduled for conversion\n"
+          "raw-rng src/core/bad.cc token=mt19937\n");
+    LintConfig config;
+    config.root = root_;
+    config.allowFile = root_ / "allow.txt";
+    const LintReport report = runLint(config);
+    EXPECT_TRUE(report.unallowed.empty());
+    ASSERT_EQ(report.allowed.size(), 1u);
+    EXPECT_TRUE(report.configErrors.empty());
+    EXPECT_TRUE(report.clean());
+}
+
+TEST_F(LintTreeFixture, DirectoryPrefixEntriesMatch)
+{
+    write("bench/bench_a.cc", "const char *v = std::getenv(\"X\");\n");
+    write("bench/bench_b.cc", "const char *v = std::getenv(\"Y\");\n");
+    write("allow.txt",
+          "# bench harness knobs, printed in the banner\n"
+          "wallclock bench/ token=getenv\n");
+    LintConfig config;
+    config.root = root_;
+    config.allowFile = root_ / "allow.txt";
+    const LintReport report = runLint(config);
+    EXPECT_TRUE(report.unallowed.empty());
+    EXPECT_EQ(report.allowed.size(), 2u);
+    EXPECT_TRUE(report.clean());
+}
+
+TEST_F(LintTreeFixture, StaleAllowlistEntryIsAnError)
+{
+    write("src/core/ok.cc", "int x = 1;\n");
+    write("allow.txt",
+          "# obsolete: the violation was fixed\n"
+          "raw-rng src/core/gone.cc token=mt19937\n");
+    LintConfig config;
+    config.root = root_;
+    config.allowFile = root_ / "allow.txt";
+    const LintReport report = runLint(config);
+    EXPECT_TRUE(report.unallowed.empty());
+    ASSERT_EQ(report.configErrors.size(), 1u);
+    EXPECT_EQ(report.configErrors[0].rule, "allowlist-stale");
+    EXPECT_FALSE(report.clean());
+}
+
+// --------------------------------------------------------------------
+// The real tree must be clean: this is the determinism-contract gate.
+// --------------------------------------------------------------------
+
+TEST(LintRealTree, SrcToolsBenchAreClean)
+{
+    LintConfig config;
+    config.root = XSER_SOURCE_ROOT;
+    config.allowFile =
+        fs::path(XSER_SOURCE_ROOT) / "tools" / "xser-lint-allow.txt";
+    const LintReport report = runLint(config);
+    for (const auto &diag : report.unallowed)
+        ADD_FAILURE() << diag.format();
+    for (const auto &diag : report.configErrors)
+        ADD_FAILURE() << diag.format();
+    EXPECT_TRUE(report.clean());
+    // Sanity: the scan actually covered the tree and the allowlist is
+    // live (every entry justified AND matching something).
+    EXPECT_GT(report.filesScanned, 100u);
+    EXPECT_FALSE(report.allowed.empty());
+}
+
+} // namespace
+} // namespace xser::lint

@@ -213,8 +213,9 @@ TEST(VminCharacterizer, SweepFindsPaperWindow24GHz)
     // never recovers.
     bool complete = false;
     for (const auto &step : result.steps) {
-        if (complete)
+        if (complete) {
             EXPECT_GT(step.pfail, 0.9);
+        }
         if (step.pfail >= 1.0)
             complete = true;
     }

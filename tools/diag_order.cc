@@ -1,9 +1,16 @@
+// Diagnostic: does workload order perturb per-workload rates?
 #include <cstdio>
+#include <string>
+#include <vector>
+
 #include "core/test_session.hh"
 #include "cpu/xgene2_platform.hh"
 #include "volt/operating_point.hh"
+
 using namespace xser;
-static void runOrder(std::vector<std::string> names, const char *label)
+
+static void
+runOrder(std::vector<std::string> names, const char *label)
 {
     cpu::XGene2Platform platform;
     core::SessionConfig config;
@@ -13,19 +20,22 @@ static void runOrder(std::vector<std::string> names, const char *label)
     config.maxFluence = 2.4e10;
     config.seed = 777;
     auto r = core::TestSession(&platform, config).execute();
-    printf("%s:", label);
+    std::printf("%s:", label);
     for (auto &w : r.perWorkload)
-        printf(" %s[rate %.2f ups %llu simms %.2f runs %llu]", w.name.c_str(),
-               w.upsetsPerMinute(r.beamFluxPerSecond),
-               (unsigned long long)w.upsetsDetected,
-               ticks::toSeconds(w.duration)*1e3,
-               (unsigned long long)w.runs);
-    printf("\n");
+        std::printf(" %s[rate %.2f ups %llu simms %.2f runs %llu]",
+                    w.name.c_str(),
+                    w.upsetsPerMinute(r.beamFluxPerSecond),
+                    static_cast<unsigned long long>(w.upsetsDetected),
+                    ticks::toSeconds(w.duration) * 1e3,
+                    static_cast<unsigned long long>(w.runs));
+    std::printf("\n");
 }
-int main()
+
+int
+main()
 {
-    runOrder({"CG","LU","FT","EP","MG","IS"}, "paper-order");
-    runOrder({"CG","LU","FT","MG","IS","EP"}, "ep-last    ");
-    runOrder({"MG","LU","FT","EP","CG","IS"}, "cg-after-ep");
+    runOrder({"CG", "LU", "FT", "EP", "MG", "IS"}, "paper-order");
+    runOrder({"CG", "LU", "FT", "MG", "IS", "EP"}, "ep-last    ");
+    runOrder({"MG", "LU", "FT", "EP", "CG", "IS"}, "cg-after-ep");
     return 0;
 }

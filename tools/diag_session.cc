@@ -1,61 +1,69 @@
 // Diagnostic: per-level raw vs detected for one session.
 #include <cstdio>
 #include <cstdlib>
+
 #include "core/test_session.hh"
 #include "cpu/xgene2_platform.hh"
 #include "volt/operating_point.hh"
 
 using namespace xser;
 
-int main(int argc, char **argv)
+int
+main(int argc, char **argv)
 {
-    double pmd = argc > 1 ? atof(argv[1]) : 980.0;
-    double soc = argc > 2 ? atof(argv[2]) : 950.0;
-    double freq = argc > 3 ? atof(argv[3]) : 2.4e9;
-    double fluence = argc > 4 ? atof(argv[4]) : 1.2e10;
+    const double pmd = argc > 1 ? std::atof(argv[1]) : 980.0;
+    const double soc = argc > 2 ? std::atof(argv[2]) : 950.0;
+    const double freq = argc > 3 ? std::atof(argv[3]) : 2.4e9;
+    const double fluence = argc > 4 ? std::atof(argv[4]) : 1.2e10;
 
     cpu::XGene2Platform platform;
     core::SessionConfig config;
     config.point = volt::OperatingPoint{"diag", pmd, soc, freq};
     config.maxErrorEvents = 1000000;
     config.maxFluence = fluence;
-    config.seed = argc > 5 ? strtoull(argv[5],0,0) : 1234;
+    config.seed = argc > 5 ? std::strtoull(argv[5], nullptr, 0) : 1234;
     core::TestSession session(&platform, config);
     auto r = session.execute();
 
-    printf("runs %llu fluence %.3e eqmin %.1f simsec %.4f\n",
-           (unsigned long long)r.runs, r.fluence, r.equivalentMinutes(),
-           ticks::toSeconds(r.duration));
-    const char* names[4] = {"TLB","L1","L2","L3"};
+    std::printf("runs %llu fluence %.3e eqmin %.1f simsec %.4f\n",
+                static_cast<unsigned long long>(r.runs), r.fluence,
+                r.equivalentMinutes(), ticks::toSeconds(r.duration));
+    const char *names[4] = {"TLB", "L1", "L2", "L3"};
     for (int l = 0; l < 4; ++l)
-        printf("%-4s CE %6llu UE %6llu  -> per min CE %.3f UE %.3f\n",
-               names[l],
-               (unsigned long long)r.edac[l].corrected,
-               (unsigned long long)r.edac[l].uncorrected,
-               r.edac[l].corrected / r.equivalentMinutes(),
-               r.edac[l].uncorrected / r.equivalentMinutes());
-    printf("raw upset events %llu  detected %llu (%.1f%%)\n",
-           (unsigned long long)r.rawUpsetEvents,
-           (unsigned long long)r.upsetsDetected,
-           100.0 * r.upsetsDetected / r.rawUpsetEvents);
-    // per-array counters
+        std::printf(
+            "%-4s CE %6llu UE %6llu  -> per min CE %.3f UE %.3f\n",
+            names[l],
+            static_cast<unsigned long long>(r.edac[l].corrected),
+            static_cast<unsigned long long>(r.edac[l].uncorrected),
+            static_cast<double>(r.edac[l].corrected) /
+                r.equivalentMinutes(),
+            static_cast<double>(r.edac[l].uncorrected) /
+                r.equivalentMinutes());
+    std::printf("raw upset events %llu  detected %llu (%.1f%%)\n",
+                static_cast<unsigned long long>(r.rawUpsetEvents),
+                static_cast<unsigned long long>(r.upsetsDetected),
+                100.0 * static_cast<double>(r.upsetsDetected) /
+                    static_cast<double>(r.rawUpsetEvents));
     for (auto &t : platform.memory().beamTargets()) {
         auto &c = t.array->counters();
-        if (t.array->name() == "l3.data" || t.array->name() == "l2.0.data")
-            printf("%s: events %llu flips %llu corr %llu unc %llu esc %llu mis %llu overw %llu\n",
-                   t.array->name().c_str(),
-                   (unsigned long long)c.upsetEventsInjected,
-                   (unsigned long long)c.bitFlipsInjected,
-                   (unsigned long long)c.corrected,
-                   (unsigned long long)c.uncorrected,
-                   (unsigned long long)c.silentEscapes,
-                   (unsigned long long)c.miscorrections,
-                   (unsigned long long)c.overwrittenFlips);
+        if (t.array->name() == "l3.data" ||
+            t.array->name() == "l2.0.data")
+            std::printf(
+                "%s: events %llu flips %llu corr %llu unc %llu esc "
+                "%llu mis %llu overw %llu\n",
+                t.array->name().c_str(),
+                static_cast<unsigned long long>(c.upsetEventsInjected),
+                static_cast<unsigned long long>(c.bitFlipsInjected),
+                static_cast<unsigned long long>(c.corrected),
+                static_cast<unsigned long long>(c.uncorrected),
+                static_cast<unsigned long long>(c.silentEscapes),
+                static_cast<unsigned long long>(c.miscorrections),
+                static_cast<unsigned long long>(c.overwrittenFlips));
     }
-    printf("events: sdc %llu/%llu app %llu sys %llu\n",
-           (unsigned long long)r.events.sdcSilent,
-           (unsigned long long)r.events.sdcNotified,
-           (unsigned long long)r.events.appCrash,
-           (unsigned long long)r.events.sysCrash);
+    std::printf("events: sdc %llu/%llu app %llu sys %llu\n",
+                static_cast<unsigned long long>(r.events.sdcSilent),
+                static_cast<unsigned long long>(r.events.sdcNotified),
+                static_cast<unsigned long long>(r.events.appCrash),
+                static_cast<unsigned long long>(r.events.sysCrash));
     return 0;
 }

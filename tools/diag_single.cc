@@ -1,11 +1,16 @@
+// Diagnostic: per-workload upset rates with single-workload sessions.
 #include <cstdio>
+
 #include "core/test_session.hh"
 #include "cpu/xgene2_platform.hh"
 #include "volt/operating_point.hh"
+
 using namespace xser;
-int main()
+
+int
+main()
 {
-    for (const char *name : {"CG","LU","FT","EP","MG","IS"}) {
+    for (const char *name : {"CG", "LU", "FT", "EP", "MG", "IS"}) {
         cpu::XGene2Platform platform;
         core::SessionConfig config;
         config.point = volt::nominalPoint();
@@ -14,14 +19,16 @@ int main()
         config.maxFluence = 0.8e10;
         config.seed = 777;
         auto r = core::TestSession(&platform, config).execute();
-        printf("%s: rate %.2f  TLB %llu L1 %llu L2 %llu L3 %llu/%llu  runs %llu\n",
-               name, r.upsetsPerMinute(),
-               (unsigned long long)r.edac[0].corrected,
-               (unsigned long long)r.edac[1].corrected,
-               (unsigned long long)r.edac[2].corrected,
-               (unsigned long long)r.edac[3].corrected,
-               (unsigned long long)r.edac[3].uncorrected,
-               (unsigned long long)r.runs);
+        std::printf(
+            "%s: rate %.2f  TLB %llu L1 %llu L2 %llu L3 %llu/%llu  "
+            "runs %llu\n",
+            name, r.upsetsPerMinute(),
+            static_cast<unsigned long long>(r.edac[0].corrected),
+            static_cast<unsigned long long>(r.edac[1].corrected),
+            static_cast<unsigned long long>(r.edac[2].corrected),
+            static_cast<unsigned long long>(r.edac[3].corrected),
+            static_cast<unsigned long long>(r.edac[3].uncorrected),
+            static_cast<unsigned long long>(r.runs));
     }
     return 0;
 }

@@ -1,33 +1,37 @@
-// Timeline diagnostic: per-run L3 CE counts in windows.
+// Timeline diagnostic: per-run L3 CE counts in fluence windows. Runs
+// sessions of increasing fluence with the same seed (same prefix by
+// determinism) and differences consecutive results.
 #include <cstdio>
-#include <cstdlib>
+
 #include "core/test_session.hh"
 #include "cpu/xgene2_platform.hh"
 #include "volt/operating_point.hh"
+
 using namespace xser;
-int main()
+
+int
+main()
 {
-    // run several equal-fluence sessions back to back conceptually:
-    // instead run one long session but report windowed rates via
-    // per-workload? Simpler: run sessions of increasing fluence and
-    // difference them.
-    double fl[5] = {0.6e10, 1.2e10, 1.8e10, 2.4e10, 3.0e10};
-    double prevCE = 0, prevMin = 0;
+    const double fl[5] = {0.6e10, 1.2e10, 1.8e10, 2.4e10, 3.0e10};
+    double prev_ce = 0, prev_min = 0;
     for (int i = 0; i < 5; ++i) {
         cpu::XGene2Platform platform;
         core::SessionConfig config;
         config.point = volt::nominalPoint();
         config.maxErrorEvents = 1000000;
         config.maxFluence = fl[i];
-        config.seed = 1234;  // same seed => same prefix (deterministic)
+        config.seed = 1234; // same seed => same prefix (deterministic)
         core::TestSession session(&platform, config);
         auto r = session.execute();
-        double ce = r.edac[3].corrected;
-        double mins = r.equivalentMinutes();
-        printf("upto %.1e: L3CE %.0f over %.0f min = %.3f | window rate %.3f\n",
-               fl[i], ce, mins, ce / mins,
-               (ce - prevCE) / (mins - prevMin));
-        prevCE = ce; prevMin = mins;
+        const double ce = static_cast<double>(r.edac[3].corrected);
+        const double mins = r.equivalentMinutes();
+        std::printf(
+            "upto %.1e: L3CE %.0f over %.0f min = %.3f | window rate "
+            "%.3f\n",
+            fl[i], ce, mins, ce / mins,
+            (ce - prev_ce) / (mins - prev_min));
+        prev_ce = ce;
+        prev_min = mins;
     }
     return 0;
 }

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * xser-lint: the project-specific determinism & soundness analyzer.
+ *
+ * The parallel campaign engine is only bit-reproducible because every
+ * work unit obeys a determinism contract: RNG streams derive solely
+ * from (seed, session, replicate), no unordered-container iteration
+ * feeds floating-point reductions, and the simulation core never reads
+ * wall-clock time or the environment. This library turns that contract
+ * into machine-checked rules over `src/`, `tools/`, and `bench/`:
+ *
+ *  - wallclock: no time/clock/environment reads outside the sanctioned
+ *    sites (`src/sim/rng.cc`, `src/cli/`);
+ *  - raw-rng: no `std::rand`, `std::random_device`, or raw standard
+ *    RNG engines (`std::mt19937` & friends) outside `src/sim/rng` --
+ *    all streams must come from `xser::Rng` / `xser::deriveStreamSeed`;
+ *  - unordered-decl / unordered-iter: no `std::unordered_map` /
+ *    `std::unordered_set` declarations or iteration in the simulation
+ *    subsystems (`src/core`, `src/sim`, `src/rad`, `src/mem`), where
+ *    hash order could reorder floating-point reductions;
+ *  - header-guard / header-using-namespace: headers carry an include
+ *    guard (or `#pragma once`) and never say `using namespace`;
+ *  - parallel-fanin: no threading primitives or OpenMP pragmas outside
+ *    the canonical fan-in in `src/core/parallel_campaign.cc` -- the
+ *    simulation core itself must stay single-threaded so result merge
+ *    order is fixed by construction.
+ *
+ * The scanner is token-based (comments, string literals, and raw
+ * strings are stripped; preprocessor directives are parsed as units),
+ * so banned names inside documentation or diagnostics text never trip
+ * it. Exceptions live in an annotated allowlist file where every entry
+ * must carry a written justification; entries that stop matching
+ * anything are themselves reported, so the list can only shrink.
+ */
+
+#ifndef XSER_TOOLS_LINT_LINT_HH
+#define XSER_TOOLS_LINT_LINT_HH
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace xser::lint {
+
+/** One finding, printed as `file:line: rule-id: message`. */
+struct Diagnostic
+{
+    std::string file;    ///< Repo-relative path with forward slashes.
+    int line = 0;        ///< 1-based line of the offending token.
+    std::string rule;    ///< Stable rule identifier (e.g. "raw-rng").
+    std::string token;   ///< Offending token, for allowlist targeting.
+    std::string message; ///< Human-readable explanation.
+
+    /** Render in the canonical `file:line: rule-id: message` form. */
+    std::string format() const;
+};
+
+/** One allowlist entry: `<rule-id> <path> [token=<token>]`. */
+struct AllowEntry
+{
+    std::string rule;          ///< Rule the entry silences.
+    std::string path;          ///< Exact file, or directory prefix
+                               ///< ending in '/'.
+    std::string token;         ///< Optional token restriction.
+    std::string justification; ///< Comment block above the entry.
+    int line = 0;              ///< Line in the allowlist file.
+};
+
+/** Parsed allowlist plus any format errors found while parsing. */
+struct Allowlist
+{
+    std::vector<AllowEntry> entries;
+    /** Malformed or unjustified entries (rule "allowlist-format"). */
+    std::vector<Diagnostic> errors;
+};
+
+/**
+ * Parse allowlist text. Blank lines and `#` comments are free-form;
+ * each entry line must be immediately preceded by at least one comment
+ * line, which becomes its recorded justification.
+ *
+ * @param text Full contents of the allowlist file.
+ * @param file_name Name used in error diagnostics.
+ */
+Allowlist parseAllowlist(const std::string &text,
+                         const std::string &file_name);
+
+/**
+ * Lint a single translation unit held in memory.
+ *
+ * @param rel_path Repo-relative path (drives per-directory rules).
+ * @param content Full source text.
+ */
+std::vector<Diagnostic> lintSource(const std::string &rel_path,
+                                   const std::string &content);
+
+/** What to scan and which allowlist to honour. */
+struct LintConfig
+{
+    std::filesystem::path root;              ///< Repository root.
+    std::vector<std::string> scanDirs{"src", "tools", "bench"};
+    std::filesystem::path allowFile;         ///< Empty = no allowlist.
+};
+
+/** Aggregate result of a tree scan. */
+struct LintReport
+{
+    std::vector<Diagnostic> unallowed; ///< Findings with no entry.
+    std::vector<Diagnostic> allowed;   ///< Findings an entry covers.
+    /** Allowlist parse errors and stale (never-matching) entries. */
+    std::vector<Diagnostic> configErrors;
+    std::size_t filesScanned = 0;
+
+    /** True when nothing requires attention (exit status 0). */
+    bool clean() const
+    {
+        return unallowed.empty() && configErrors.empty();
+    }
+};
+
+/**
+ * Scan every C++ source under `config.root / dir` for each scan dir,
+ * apply the allowlist, and report. Unknown scan dirs are skipped (the
+ * caller may pass a superset of what a given checkout contains).
+ */
+LintReport runLint(const LintConfig &config);
+
+} // namespace xser::lint
+
+#endif // XSER_TOOLS_LINT_LINT_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * xser-lint command-line driver.
+ *
+ * Usage:
+ *   xser-lint [--root <dir>] [--allow <file>] [--verbose] [dir ...]
+ *
+ * Scans the given directories (default: src tools bench) under the
+ * repository root for determinism/soundness violations, prints each
+ * finding as `file:line: rule-id: message`, and exits nonzero when any
+ * unallowed finding, stale allowlist entry, or allowlist format error
+ * remains. `--allow` defaults to `<root>/tools/xser-lint-allow.txt`
+ * when that file exists.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hh"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--root <dir>] [--allow <file>] [--verbose] "
+                 "[dir ...]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    namespace fs = std::filesystem;
+    xser::lint::LintConfig config;
+    config.root = ".";
+    config.scanDirs.clear();
+    bool verbose = false;
+    bool allow_set = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            config.root = argv[++i];
+        } else if (arg == "--allow" && i + 1 < argc) {
+            config.allowFile = argv[++i];
+            allow_set = true;
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            config.scanDirs.push_back(arg);
+        }
+    }
+    if (config.scanDirs.empty())
+        config.scanDirs = {"src", "tools", "bench"};
+    if (!allow_set) {
+        const fs::path candidate =
+            config.root / "tools" / "xser-lint-allow.txt";
+        if (fs::exists(candidate))
+            config.allowFile = candidate;
+    }
+
+    const xser::lint::LintReport report = xser::lint::runLint(config);
+
+    for (const auto &diag : report.unallowed)
+        std::printf("%s\n", diag.format().c_str());
+    for (const auto &diag : report.configErrors)
+        std::printf("%s\n", diag.format().c_str());
+    if (verbose) {
+        for (const auto &diag : report.allowed)
+            std::printf("allowed: %s\n", diag.format().c_str());
+    }
+
+    std::fprintf(stderr,
+                 "xser-lint: %zu files, %zu violation(s), %zu "
+                 "allowlisted, %zu config error(s)\n",
+                 report.filesScanned, report.unallowed.size(),
+                 report.allowed.size(), report.configErrors.size());
+    return report.clean() ? 0 : 1;
+}
