@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Cost of the lifecycle trace subsystem, measured over the paper's
+ * four-session campaign in three modes:
+ *
+ *   off       null sink everywhere (the shipping default);
+ *   buffered  per-unit TraceBuffers filled but never written;
+ *   written   buffers encoded and merged into an .xtrace file.
+ *
+ * Reports wall-clock per mode and the slowdown relative to `off`, and
+ * verifies that the campaign aggregates are bit-identical across all
+ * three -- tracing must observe the simulation, never perturb it.
+ * Exits 1 on any aggregate mismatch.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/parallel_campaign.hh"
+#include "core/table_printer.hh"
+#include "trace/trace_reader.hh"
+#include "trace/trace_writer.hh"
+
+namespace {
+
+using namespace xser;
+
+/** One timed campaign in a given trace mode. */
+struct ModePoint {
+    const char *mode = "";
+    double seconds = 0.0;
+    core::ReplicatedCampaignResult result;
+};
+
+bool
+aggregatesIdentical(const core::ReplicatedCampaignResult &a,
+                    const core::ReplicatedCampaignResult &b)
+{
+    if (a.sessions.size() != b.sessions.size())
+        return false;
+    for (size_t s = 0; s < a.sessions.size(); ++s) {
+        const core::SessionAggregate &x = a.sessions[s];
+        const core::SessionAggregate &y = b.sessions[s];
+        if (x.runs != y.runs || x.fluence != y.fluence ||
+            x.upsetsDetected != y.upsetsDetected ||
+            x.rawUpsetEvents != y.rawUpsetEvents ||
+            x.events.total() != y.events.total() ||
+            x.fitTotal.mean() != y.fitTotal.mean() ||
+            x.fitTotal.variance() != y.fitTotal.variance())
+            return false;
+    }
+    return true;
+}
+
+ModePoint
+timedRun(const char *mode, const core::CampaignConfig &config,
+         const core::ParallelRunConfig &run,
+         trace::TraceWriter *writer)
+{
+    core::ParallelCampaignRunner runner(config, run);
+    const auto start = std::chrono::steady_clock::now();
+    ModePoint point;
+    point.result = runner.executeAll(writer);
+    point.seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    point.mode = mode;
+    return point;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Trace subsystem overhead (off / buffered / written)");
+    const double scale = bench::campaignScaleFromEnv(0.04);
+    const core::CampaignConfig config =
+        core::BeamCampaign::paperCampaign(scale);
+    const char *trace_path = "bench_trace_overhead.xtrace";
+
+    core::ParallelRunConfig run;
+    run.jobs = bench::benchJobs();
+    run.replicates = 2;
+
+    std::vector<ModePoint> points;
+    points.push_back(timedRun("off", config, run, nullptr));
+
+    core::ParallelRunConfig buffered = run;
+    buffered.collectTrace = true;
+    points.push_back(timedRun("buffered", config, buffered, nullptr));
+
+    uint64_t trace_events = 0;
+    uint64_t trace_bytes = 0;
+    {
+        trace::TraceWriter writer(trace_path);
+        points.push_back(timedRun("written", config, run, &writer));
+        const trace::TraceFile file = trace::readTraceFile(trace_path);
+        if (!file.ok) {
+            std::printf("trace unreadable: %s\n", file.error.c_str());
+            return 1;
+        }
+        trace_events = file.totalEvents();
+        std::ifstream in(trace_path,
+                         std::ios::binary | std::ios::ate);
+        trace_bytes = static_cast<uint64_t>(in.tellg());
+    }
+
+    core::TablePrinter table({"mode", "seconds", "slowdown"});
+    for (const auto &point : points) {
+        table.addRow(
+            {point.mode, core::TablePrinter::fmt(point.seconds, 2),
+             core::TablePrinter::fmt(
+                 (point.seconds / points[0].seconds - 1.0) * 100.0, 1) +
+                 "%"});
+    }
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("trace: %llu events, %llu bytes on disk\n",
+                static_cast<unsigned long long>(trace_events),
+                static_cast<unsigned long long>(trace_bytes));
+
+    bool identical = true;
+    for (size_t i = 1; i < points.size(); ++i)
+        identical = identical && aggregatesIdentical(points[0].result,
+                                                     points[i].result);
+    std::printf("aggregates bit-identical across modes: %s\n",
+                identical ? "yes" : "NO -- TRACING PERTURBED RESULTS");
+    return identical ? 0 : 1;
+}

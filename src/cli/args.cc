@@ -79,6 +79,17 @@ Args::getUint(const std::string &key, uint64_t fallback) const
     return value;
 }
 
+uint64_t
+Args::getCount(const std::string &key, uint64_t fallback,
+               uint64_t min_value, uint64_t max_value) const
+{
+    const uint64_t value = getUint(key, fallback);
+    if (value < min_value || value > max_value)
+        fatal(msg("option --", key, " expects a count in [", min_value,
+                  ", ", max_value, "], got ", value));
+    return value;
+}
+
 unsigned
 Args::getJobs(const std::string &key, unsigned fallback) const
 {

@@ -45,6 +45,13 @@ class Args
     uint64_t getUint(const std::string &key, uint64_t fallback) const;
 
     /**
+     * Range-checked count option: an integer in [min_value, max_value].
+     * Fatal on unparseable or out-of-range values.
+     */
+    uint64_t getCount(const std::string &key, uint64_t fallback,
+                      uint64_t min_value, uint64_t max_value) const;
+
+    /**
      * Worker-count option: a positive integer, or "auto" for the
      * hardware thread count. Fatal on zero or unparseable values.
      */

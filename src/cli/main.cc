@@ -7,14 +7,17 @@
  *   xser characterize [--freq 2.4e9] [--start 980] [--stop 890]
  *                     [--runs 500] [--csv sweep.csv]
  *   xser session --pmd 920 [--soc 920] [--freq 2.4e9] [--events 50]
- *                [--fluence 2e10] [--seed 7] [--csv out.csv]
+ *                [--fluence 2e10] [--warmup 8] [--seed 7]
+ *                [--trace out.xtrace] [--csv out.csv]
  *   xser campaign [--scale 0.22] [--seed 7] [--jobs 8|auto]
- *                 [--replicates 4] [--csv out.csv]
+ *                 [--replicates 4] [--trace out.xtrace]
+ *                 [--csv out.csv]
  *   xser tradeoff [--devices 50000] [--checkpoint 30] [--altitude 0]
  *                 [--budget 10]
  */
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "cli/args.hh"
@@ -29,6 +32,8 @@
 #include "core/tradeoff.hh"
 #include "cpu/xgene2_platform.hh"
 #include "sim/logging.hh"
+#include "trace/trace_buffer.hh"
+#include "trace/trace_writer.hh"
 #include "volt/vmin_characterizer.hh"
 
 namespace {
@@ -48,13 +53,15 @@ usage()
         "                  --seed S --csv FILE\n"
         "  session       one accelerated beam session\n"
         "                  --pmd MV [--soc MV] [--freq HZ]\n"
-        "                  --events N --fluence NCM2 --seed S\n"
-        "                  --csv FILE\n"
+        "                  --events N --fluence NCM2 --warmup N\n"
+        "                  --seed S --csv FILE\n"
+        "                  --trace FILE --trace-buffer-events N\n"
         "  campaign      the paper's four Table 2 sessions\n"
         "                  --scale F --seed S --csv FILE\n"
         "                  --jobs N|auto --replicates R\n"
-        "                  (bit-identical for any --jobs; see README\n"
-        "                  'Parallel execution')\n"
+        "                  --trace FILE --trace-buffer-events N\n"
+        "                  (results and trace files bit-identical for\n"
+        "                  any --jobs; see README 'Parallel execution')\n"
         "  tradeoff      energy-vs-SDC policy curve for a fleet\n"
         "                  --devices N --checkpoint SEC\n"
         "                  --altitude M --budget SDCS_PER_YEAR\n"
@@ -104,10 +111,30 @@ cmdCharacterize(const cli::Args &args)
     return 0;
 }
 
-core::SessionResult
-runOneSession(const cli::Args &args)
+/** Upper bound for --trace-buffer-events (2^30 events = ~32 GB). */
+constexpr uint64_t maxTraceBufferEvents = uint64_t(1) << 30;
+
+/**
+ * Open the --trace writer, if requested. Opening happens here, before
+ * any simulation time is spent, so an unwritable path fails fast.
+ */
+std::unique_ptr<trace::TraceWriter>
+makeTraceWriter(const cli::Args &args)
 {
-    cpu::XGene2Platform platform;
+    if (!args.has("trace"))
+        return nullptr;
+    const std::string path = args.get("trace", "");
+    if (path.empty())
+        fatal("option --trace expects a file path");
+    return std::make_unique<trace::TraceWriter>(path);
+}
+
+int
+cmdSession(const cli::Args &args)
+{
+    if (!args.has("pmd"))
+        fatal("session requires --pmd <millivolts>");
+
     core::SessionConfig config;
     config.point.pmdMillivolts = args.getDouble("pmd", 980.0);
     config.point.socMillivolts =
@@ -117,17 +144,42 @@ runOneSession(const cli::Args &args)
     config.point.name = config.point.label();
     config.maxErrorEvents = args.getUint("events", 50);
     config.maxFluence = args.getDouble("fluence", 2e10);
+    config.warmupRounds = static_cast<unsigned>(
+        args.getUint("warmup", config.warmupRounds));
     config.seed = args.getUint("seed", 0x5e5510ULL);
-    core::TestSession session(&platform, config);
-    return session.execute();
-}
 
-int
-cmdSession(const cli::Args &args)
-{
-    if (!args.has("pmd"))
-        fatal("session requires --pmd <millivolts>");
-    const core::SessionResult result = runOneSession(args);
+    std::unique_ptr<trace::TraceWriter> writer = makeTraceWriter(args);
+    std::unique_ptr<trace::TraceBuffer> buffer;
+    if (writer) {
+        buffer = std::make_unique<trace::TraceBuffer>(
+            args.getCount("trace-buffer-events",
+                          trace::TraceBuffer::defaultMaxEvents, 1,
+                          maxTraceBufferEvents));
+        buffer->info.pmdMillivolts = config.point.pmdMillivolts;
+        buffer->info.socMillivolts = config.point.socMillivolts;
+        buffer->info.frequencyHz = config.point.frequencyHz;
+        buffer->info.workloads = config.workloadNames;
+        config.traceSink = buffer.get();
+    }
+
+    cpu::XGene2Platform platform;
+    core::TestSession session(&platform, config);
+    const core::SessionResult result = session.execute();
+
+    if (writer) {
+        core::CampaignConfig one;
+        one.sessions.push_back(config);
+        writer->writeHeader(config.seed, core::campaignConfigHash(one),
+                            platform.memory().traceArrayTable(), 1);
+        writer->appendUnit(*buffer);
+        writer->finish();
+        std::printf("trace: %llu events (%llu dropped) -> %s\n",
+                    static_cast<unsigned long long>(
+                        buffer->events().size()),
+                    static_cast<unsigned long long>(buffer->dropped()),
+                    writer->path().c_str());
+    }
+
     std::printf("%s", core::formatTable2({result}).c_str());
     const core::FitBreakdown fit = core::FitCalculator::breakdown(result);
     std::printf("\nFIT (NYC): SDC %.2f [%.2f, %.2f] | total %.2f "
@@ -174,9 +226,20 @@ cmdCampaign(const cli::Args &args)
     run.replicates =
         static_cast<unsigned>(args.getUint("replicates", 1));
     run.seed = seed;
+    run.traceBufferEvents =
+        args.getCount("trace-buffer-events",
+                      trace::TraceBuffer::defaultMaxEvents, 1,
+                      maxTraceBufferEvents);
+    std::unique_ptr<trace::TraceWriter> writer = makeTraceWriter(args);
     core::ParallelCampaignRunner runner(
         core::BeamCampaign::paperCampaign(scale, seed), run);
-    const core::ReplicatedCampaignResult sweep = runner.executeAll();
+    const core::ReplicatedCampaignResult sweep =
+        runner.executeAll(writer.get());
+    if (writer)
+        std::printf("trace: %llu units -> %s\n",
+                    static_cast<unsigned long long>(
+                        writer->unitsWritten()),
+                    writer->path().c_str());
     const core::CampaignResult &result = sweep.replicates.front();
     const std::vector<core::SessionResult> at24ghz(
         result.sessions.begin(), result.sessions.begin() + 3);

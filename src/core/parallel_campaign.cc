@@ -7,13 +7,72 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <memory>
 #include <thread>
 
 #include "core/test_session.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
+#include "trace/trace_writer.hh"
 
 namespace xser::core {
+
+uint64_t
+campaignConfigHash(const CampaignConfig &config)
+{
+    uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+    auto mix = [&hash](uint64_t value) {
+        for (unsigned i = 0; i < 8; ++i) {
+            hash ^= (value >> (8 * i)) & 0xffULL;
+            hash *= 0x100000001b3ULL;  // FNV-1a prime
+        }
+    };
+    auto mix_double = [&mix](double value) {
+        mix(std::bit_cast<uint64_t>(value));
+    };
+    auto mix_string = [&hash, &mix](const std::string &text) {
+        mix(text.size());
+        for (const char c : text) {
+            hash ^= static_cast<unsigned char>(c);
+            hash *= 0x100000001b3ULL;
+        }
+    };
+
+    const mem::MemorySystemConfig &memory = config.platform.memory;
+    mix(memory.numCores);
+    mix(memory.lineBytes);
+    mix(memory.l1iBytes);
+    mix(memory.l1dBytes);
+    mix(memory.l1dAssociativity);
+    mix(memory.l2Bytes);
+    mix(memory.l2Associativity);
+    mix(memory.l3Bytes);
+    mix(memory.l3Associativity);
+    mix(memory.tlbWordsPerCore);
+    mix(static_cast<uint64_t>(memory.l1Protection));
+    mix(static_cast<uint64_t>(memory.l2Protection));
+    mix(static_cast<uint64_t>(memory.l3Protection));
+    mix(memory.contentSeed);
+    mix(config.platform.chipSeed);
+
+    mix(config.sessions.size());
+    for (const SessionConfig &session : config.sessions) {
+        mix_double(session.point.pmdMillivolts);
+        mix_double(session.point.socMillivolts);
+        mix_double(session.point.frequencyHz);
+        mix(session.maxErrorEvents);
+        mix_double(session.maxFluence);
+        mix_double(session.fluencePerRun);
+        mix(session.warmupRounds);
+        mix(session.seed);
+        mix(session.quantumAccesses);
+        mix(session.workloadNames.size());
+        for (const std::string &name : session.workloadNames)
+            mix_string(name);
+    }
+    return hash;
+}
 
 void
 SessionAggregate::add(const SessionResult &session)
@@ -77,7 +136,8 @@ ParallelCampaignRunner::ParallelCampaignRunner(
 
 SessionResult
 ParallelCampaignRunner::runUnit(size_t session_index,
-                                unsigned replicate_index) const
+                                unsigned replicate_index,
+                                trace::TraceBuffer *buffer) const
 {
     SessionConfig session_config = config_.sessions[session_index];
     // Replicate 0 keeps the configured seed (sequential-compatible);
@@ -86,16 +146,41 @@ ParallelCampaignRunner::runUnit(size_t session_index,
         session_config.seed = deriveStreamSeed(
             run_.seed, static_cast<uint64_t>(session_index),
             replicate_index);
+    session_config.traceSink = buffer;
     cpu::XGene2Platform platform(config_.platform);
     TestSession session(&platform, session_config);
     return session.execute();
 }
 
 std::vector<CampaignResult>
-ParallelCampaignRunner::run(unsigned count) const
+ParallelCampaignRunner::run(unsigned count,
+                            trace::TraceWriter *trace_writer) const
 {
     const size_t num_sessions = config_.sessions.size();
     const size_t units = num_sessions * count;
+
+    // When tracing, every unit records into its own pre-allocated
+    // buffer slot -- workers never share a sink, so no synchronization
+    // and no scheduling-dependent interleaving.
+    const bool tracing = trace_writer != nullptr || run_.collectTrace;
+    std::vector<std::unique_ptr<trace::TraceBuffer>> buffers;
+    if (tracing) {
+        buffers.reserve(units);
+        for (size_t unit = 0; unit < units; ++unit) {
+            const size_t session = unit % num_sessions;
+            const SessionConfig &sc = config_.sessions[session];
+            auto buffer = std::make_unique<trace::TraceBuffer>(
+                run_.traceBufferEvents);
+            buffer->info.session = static_cast<uint32_t>(session);
+            buffer->info.replicate =
+                static_cast<uint32_t>(unit / num_sessions);
+            buffer->info.pmdMillivolts = sc.point.pmdMillivolts;
+            buffer->info.socMillivolts = sc.point.socMillivolts;
+            buffer->info.frequencyHz = sc.point.frequencyHz;
+            buffer->info.workloads = sc.workloadNames;
+            buffers.push_back(std::move(buffer));
+        }
+    }
 
     // Results land in pre-sized slots keyed by unit index, so worker
     // scheduling can never reorder them.
@@ -104,7 +189,8 @@ ParallelCampaignRunner::run(unsigned count) const
         const size_t replicate = unit / num_sessions;
         const size_t session = unit % num_sessions;
         slots[unit] =
-            runUnit(session, static_cast<unsigned>(replicate));
+            runUnit(session, static_cast<unsigned>(replicate),
+                    tracing ? buffers[unit].get() : nullptr);
     };
 
     const size_t workers =
@@ -131,6 +217,20 @@ ParallelCampaignRunner::run(unsigned count) const
             thread.join();
     }
 
+    if (trace_writer != nullptr) {
+        // Merge after the pool has drained, in canonical unit order --
+        // never completion order -- so the file bytes are independent
+        // of the worker count. The array table is a pure function of
+        // the platform config; a throwaway hierarchy provides it.
+        mem::EdacReporter reporter;
+        mem::MemorySystem memory(config_.platform.memory, &reporter);
+        trace_writer->writeHeader(run_.seed, campaignConfigHash(config_),
+                                  memory.traceArrayTable(), units);
+        for (const auto &buffer : buffers)
+            trace_writer->appendUnit(*buffer);
+        trace_writer->finish();
+    }
+
     std::vector<CampaignResult> results(count);
     for (size_t unit = 0; unit < units; ++unit)
         results[unit / num_sessions].sessions.push_back(
@@ -139,16 +239,16 @@ ParallelCampaignRunner::run(unsigned count) const
 }
 
 CampaignResult
-ParallelCampaignRunner::execute()
+ParallelCampaignRunner::execute(trace::TraceWriter *trace_writer)
 {
-    return std::move(run(1).front());
+    return std::move(run(1, trace_writer).front());
 }
 
 ReplicatedCampaignResult
-ParallelCampaignRunner::executeAll()
+ParallelCampaignRunner::executeAll(trace::TraceWriter *trace_writer)
 {
     ReplicatedCampaignResult result;
-    result.replicates = run(run_.replicates);
+    result.replicates = run(run_.replicates, trace_writer);
     result.sessions.resize(config_.sessions.size());
     // Canonical merge order: replicate-major, session-minor, always
     // after the pool has drained -- never completion order.

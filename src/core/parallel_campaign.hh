@@ -32,6 +32,11 @@
 #include "core/dcs_calculator.hh"
 #include "core/fit_calculator.hh"
 #include "stats/summary.hh"
+#include "trace/trace_buffer.hh"
+
+namespace xser::trace {
+class TraceWriter;
+} // namespace xser::trace
 
 namespace xser::core {
 
@@ -43,7 +48,22 @@ struct ParallelRunConfig {
     unsigned replicates = 1;
     /** Base seed for replicate stream derivation (replicates >= 1). */
     uint64_t seed = 0x5e5510ULL;
+    /** Per-unit trace buffer capacity (events) when tracing. */
+    uint64_t traceBufferEvents = trace::TraceBuffer::defaultMaxEvents;
+    /**
+     * Buffer lifecycle events even without a TraceWriter (benchmarks
+     * use this to measure buffering cost separately from file I/O).
+     */
+    bool collectTrace = false;
 };
+
+/**
+ * Stable hash of everything that shapes a campaign's behaviour,
+ * embedded in trace headers so an analysis tool can refuse to diff
+ * traces from different experiments. Not a cryptographic digest --
+ * FNV-1a over the configuration fields in declaration order.
+ */
+uint64_t campaignConfigHash(const CampaignConfig &config);
 
 /**
  * Mergeable per-session aggregate over replicates: pooled counts for
@@ -94,19 +114,29 @@ class ParallelCampaignRunner
     ParallelCampaignRunner(const CampaignConfig &config,
                            const ParallelRunConfig &run);
 
-    /** Execute replicate 0 only (the BeamCampaign-equivalent run). */
-    CampaignResult execute();
+    /**
+     * Execute replicate 0 only (the BeamCampaign-equivalent run).
+     *
+     * @param trace_writer Optional open writer; when set, each unit
+     *        records into its own bounded buffer and the merged trace
+     *        is written in canonical unit order after the pool drains,
+     *        so the file is bit-identical for any worker count.
+     */
+    CampaignResult execute(trace::TraceWriter *trace_writer = nullptr);
 
-    /** Execute all replicates and merge. */
-    ReplicatedCampaignResult executeAll();
+    /** Execute all replicates and merge. See execute() for tracing. */
+    ReplicatedCampaignResult
+    executeAll(trace::TraceWriter *trace_writer = nullptr);
 
   private:
     /** Run one (session, replicate) unit on a fresh platform. */
     SessionResult runUnit(size_t session_index,
-                          unsigned replicate_index) const;
+                          unsigned replicate_index,
+                          trace::TraceBuffer *buffer) const;
 
     /** Execute `count` replicates and return them in index order. */
-    std::vector<CampaignResult> run(unsigned count) const;
+    std::vector<CampaignResult>
+    run(unsigned count, trace::TraceWriter *trace_writer) const;
 
     CampaignConfig config_;
     ParallelRunConfig run_;

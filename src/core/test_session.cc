@@ -6,6 +6,7 @@
 #include "core/test_session.hh"
 
 #include <algorithm>
+#include <cassert>
 #include <map>
 
 #include "core/control_pc.hh"
@@ -108,6 +109,11 @@ TestSession::execute()
     auto &edac = platform.edac();
 
     platform.applyOperatingPoint(config_.point);
+    // Attach (or detach, when null) the lifecycle trace sink before any
+    // traffic flows, so even warm-up events are observable.
+    trace::TraceSink *trace_sink = config_.traceSink;
+    memory.setTraceSink(trace_sink);
+    edac.setTraceSink(trace_sink);
     edac.clear();
     memory.clearDeliveryCounters();
     memory.clearCycles();
@@ -215,6 +221,10 @@ TestSession::execute()
     edac.clear();
     beam.clearCounters();
     memory.clearDeliveryCounters();
+    // The trace must cover exactly the measured phase the EDAC tallies
+    // cover, or the cross-check below would be vacuous.
+    if (trace_sink != nullptr)
+        trace_sink->clear();
 
     SessionResult result;
     result.point = config_.point;
@@ -299,6 +309,20 @@ TestSession::execute()
         const EventCounts run_events =
             control.eventsOf(record, logic_events);
 
+        if (trace_sink != nullptr) {
+            // Close the lifecycle: one record per classified run.
+            // word = suite slot, bit = RunOutcome, aux = flag bits.
+            const uint64_t flags =
+                (record.withCeNotification ? 1u : 0u) |
+                (record.trappedOrganically ? 2u : 0u) |
+                (record.signatureMismatch ? 4u : 0u);
+            trace_sink->record(
+                {trace::EventType::OutcomeClassified,
+                 platform.clock().now(), trace::noArray,
+                 static_cast<uint64_t>(slot),
+                 static_cast<uint32_t>(record.outcome), flags});
+        }
+
         result.events.merge(run_events);
         result.fluence += run_fluence;
         result.duration += run_duration;
@@ -319,6 +343,15 @@ TestSession::execute()
     result.rawUpsetEvents = beam.upsetEvents();
     for (auto &[name, stats] : per_workload)
         result.perWorkload.push_back(stats);
+
+    // Debug-build cross-check: every EDAC tally must have a matching
+    // hardware-visible detection record in the trace.
+    assert(edac.consistentWithTrace());
+
+    // Detach before the platform is reused: a later untraced session
+    // must not write into this session's (possibly dead) sink.
+    memory.setTraceSink(nullptr);
+    edac.setTraceSink(nullptr);
     return result;
 }
 

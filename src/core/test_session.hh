@@ -19,6 +19,7 @@
 #include "cpu/xgene2_platform.hh"
 #include "mem/scrubber.hh"
 #include "rad/beam_source.hh"
+#include "trace/trace_sink.hh"
 #include "volt/operating_point.hh"
 
 namespace xser::core {
@@ -55,6 +56,14 @@ struct SessionConfig {
     mem::ScrubberConfig scrub;       ///< patrol scrub (see below)
     uint64_t quantumAccesses = 4096; ///< hook period in accesses
     uint64_t seed = 0x5e5510ULL;
+
+    /**
+     * Optional lifecycle trace sink (not owned; null = tracing off).
+     * Attached to every SRAM array for the session and cleared together
+     * with the other counters when the measured phase begins, so trace
+     * counts line up with the session's EDAC tallies.
+     */
+    trace::TraceSink *traceSink = nullptr;
 
     SessionConfig();
 };

@@ -32,6 +32,11 @@ FaultInjector::inject(const FaultSite &site)
     mem::SramArray &array = *targets_[site.targetIndex].array;
     array.noteUpsetEvent();
     array.flipBit(site.word, site.bit);
+    if (trace::TraceSink *sink = array.traceSink()) {
+        sink->record({trace::EventType::Injection, array.now(),
+                      array.traceId(), static_cast<uint64_t>(site.word),
+                      static_cast<uint32_t>(site.bit), 1});
+    }
     log_.push_back(site);
 }
 
@@ -69,6 +74,12 @@ FaultInjector::injectRandomBurst(unsigned size)
     FaultSite first = siteAt(rng_.nextBounded(footprintBits_));
     mem::SramArray &array = *targets_[first.targetIndex].array;
     array.noteUpsetEvent();
+    if (trace::TraceSink *sink = array.traceSink()) {
+        // A burst is one upset event: one record, aux = burst size.
+        sink->record({trace::EventType::Injection, array.now(),
+                      array.traceId(), static_cast<uint64_t>(first.word),
+                      static_cast<uint32_t>(first.bit), size});
+    }
     for (unsigned i = 0; i < size; ++i) {
         FaultSite site = first;
         site.bit = (first.bit + i) % array.bitsPerWord();

@@ -242,12 +242,24 @@ Cache::scrubLine(size_t line_index)
     const size_t base = lineWordBase(set, way);
     const size_t words = geometry_.wordsPerLine();
     result.data.resize(words);
+    bool found_error = false;
     for (size_t i = 0; i < words; ++i) {
         ReadOutcome outcome = dataArray_.read(base + i);
         postEdac(outcome);
         if (outcomeUncorrectable(outcome))
             result.uncorrectable = true;
+        if (outcome.status != ecc::CheckStatus::Clean ||
+            outcome.silentCorruption)
+            found_error = true;
         result.data[i] = outcome.value;
+    }
+    if (found_error && dataArray_.traceSink()) {
+        // One Scrub record per non-clean line found by the patrol scan
+        // (the word-level detections above carry the details).
+        dataArray_.traceSink()->record(
+            {trace::EventType::Scrub, dataArray_.now(),
+             dataArray_.traceId(), static_cast<uint64_t>(base),
+             trace::noBit, result.uncorrectable ? 1u : 0u});
     }
     if (result.uncorrectable) {
         // Poisoned line: drop it so it cannot re-report every pass. The

@@ -80,8 +80,13 @@ class Cache
     SramArray &dataArray() { return dataArray_; }
     const SramArray &dataArray() const { return dataArray_; }
 
-    /** Set the simulated-time source used to timestamp EDAC events. */
-    void setTimeSource(const Tick *now) { now_ = now; }
+    /** Set the simulated-time source for EDAC and trace timestamps. */
+    void
+    setTimeSource(const Tick *now)
+    {
+        now_ = now;
+        dataArray_.setTimeSource(now);
+    }
 
     /** True when the line containing addr is present. */
     bool contains(Addr addr) const;

@@ -57,4 +57,19 @@ EdacReporter::clear()
     log_.clear();
 }
 
+bool
+EdacReporter::consistentWithTrace() const
+{
+    if (traceSink_ == nullptr)
+        return true;
+    for (size_t level = 0; level < numCacheLevels; ++level) {
+        const EdacTally &tally = tallies_[level];
+        const uint64_t detections =
+            traceSink_->detectionCount(static_cast<uint8_t>(level));
+        if (tally.corrected + tally.uncorrected != detections)
+            return false;
+    }
+    return true;
+}
+
 } // namespace xser::mem

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/sim_clock.hh"
+#include "trace/trace_sink.hh"
 
 namespace xser::mem {
 
@@ -89,10 +90,23 @@ class EdacReporter
     /** Clear tallies and log for a new run/session. */
     void clear();
 
+    /** Attach the trace sink for the CE/UE cross-check (null detaches). */
+    void setTraceSink(const trace::TraceSink *sink) { traceSink_ = sink; }
+
+    /**
+     * Cross-check against the lifecycle trace: per level, the CE + UE
+     * tally must equal the trace's hardware-visible detection count
+     * (ParityDetect + EccCorrect + EccMiscorrect + UeDetect). Trivially
+     * true with no sink attached. Asserted at the end of every traced
+     * session in debug builds.
+     */
+    bool consistentWithTrace() const;
+
   private:
     bool keepLog_;
     std::array<EdacTally, numCacheLevels> tallies_{};
     std::vector<EdacEvent> log_;
+    const trace::TraceSink *traceSink_ = nullptr;
 };
 
 } // namespace xser::mem

@@ -89,6 +89,47 @@ MemorySystem::setTimeSource(const Tick *now)
         array->setTimeSource(now);
 }
 
+void
+MemorySystem::setTraceSink(trace::TraceSink *sink)
+{
+    traceSink_ = sink;
+    uint32_t id = 0;
+    for (BeamTarget &target : beamTargets()) {
+        target.array->setTrace(sink, sink ? id : trace::noArray);
+        if (sink)
+            sink->registerArray(id, static_cast<uint8_t>(target.level));
+        ++id;
+    }
+}
+
+std::vector<trace::TraceArrayInfo>
+MemorySystem::traceArrayTable() const
+{
+    std::vector<trace::TraceArrayInfo> table;
+    auto add_array = [&table](const SramArray &array, CacheLevel level) {
+        table.push_back({array.name(), static_cast<uint8_t>(level), 0, 0,
+                         static_cast<uint64_t>(array.words())});
+    };
+    auto add_cache = [&table](const Cache &cache) {
+        table.push_back(
+            {cache.dataArray().name(),
+             static_cast<uint8_t>(cache.config().level),
+             static_cast<uint32_t>(cache.geometry().wordsPerLine()),
+             cache.config().associativity,
+             static_cast<uint64_t>(cache.dataArray().words())});
+    };
+    for (const auto &array : l1i_)
+        add_array(array->array(), CacheLevel::L1);
+    for (const auto &cache : l1d_)
+        add_cache(*cache);
+    for (const auto &array : tlb_)
+        add_array(array->array(), CacheLevel::Tlb);
+    for (const auto &cache : l2_)
+        add_cache(*cache);
+    add_cache(*l3_);
+    return table;
+}
+
 Cache &
 MemorySystem::l1d(unsigned core)
 {
@@ -229,6 +270,12 @@ MemorySystem::readLineFromL3(Addr line_addr, std::vector<uint64_t> &out)
             // Dirty poisoned line: nothing better exists; the corrupt
             // data propagates (possible SDC downstream).
             ++delivery_.dirtyUeDeliveries;
+            if (traceSink_) {
+                traceSink_->record({trace::EventType::Propagate,
+                                    now_ ? *now_ : 0,
+                                    l3_->dataArray().traceId(),
+                                    trace::noWord, trace::noBit, 1});
+            }
         }
     }
 }
@@ -267,6 +314,12 @@ MemorySystem::readLineFromL2(unsigned core, Addr line_addr,
             installL2(pair, line_addr, out, false);
         } else {
             ++delivery_.dirtyUeDeliveries;
+            if (traceSink_) {
+                traceSink_->record({trace::EventType::Propagate,
+                                    now_ ? *now_ : 0,
+                                    cache.dataArray().traceId(),
+                                    trace::noWord, trace::noBit, 1});
+            }
         }
     }
 }

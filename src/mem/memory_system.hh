@@ -130,6 +130,19 @@ class MemorySystem
     /** Set the simulated-time source used to timestamp EDAC events. */
     void setTimeSource(const Tick *now);
 
+    /**
+     * Attach a lifecycle trace sink to every SRAM array (null detaches).
+     * Array ids are indices into traceArrayTable().
+     */
+    void setTraceSink(trace::TraceSink *sink);
+
+    /**
+     * Array descriptors in beamTargets() order -- the trace file's array
+     * table. Depends only on configuration, so any MemorySystem built
+     * from the same config yields an identical table.
+     */
+    std::vector<trace::TraceArrayInfo> traceArrayTable() const;
+
     /** Per-level component access for tests and reports. */
     Cache &l1d(unsigned core);
     Cache &l2(unsigned pair);
@@ -164,6 +177,7 @@ class MemorySystem
     MemorySystemConfig config_;
     EdacReporter *reporter_;
     const Tick *now_ = nullptr;
+    trace::TraceSink *traceSink_ = nullptr;
 
     std::vector<std::unique_ptr<Cache>> l1d_;
     std::vector<std::unique_ptr<Cache>> l2_;

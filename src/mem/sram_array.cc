@@ -6,6 +6,7 @@
 #include "mem/sram_array.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "ecc/parity.hh"
 #include "sim/logging.hh"
@@ -76,6 +77,14 @@ SramArray::write(size_t index, uint64_t value)
     }
 }
 
+void
+SramArray::emit(trace::EventType type, size_t index, uint32_t bit,
+                uint64_t aux)
+{
+    traceSink_->record({type, now(), traceId_,
+                        static_cast<uint64_t>(index), bit, aux});
+}
+
 ReadOutcome
 SramArray::read(size_t index)
 {
@@ -86,8 +95,11 @@ SramArray::read(size_t index)
         outcome.value = data_[index];
         outcome.status = ecc::CheckStatus::Clean;
         outcome.silentCorruption = data_[index] != shadow_[index];
-        if (outcome.silentCorruption)
+        if (outcome.silentCorruption) {
             ++counters_.silentEscapes;
+            if (traceSink_)
+                emit(trace::EventType::Propagate, index, trace::noBit, 0);
+        }
         return outcome;
       }
       case Protection::Parity:
@@ -107,6 +119,8 @@ SramArray::readParity(size_t index)
     outcome.silentCorruption = false;
     if (outcome.status == ecc::CheckStatus::ParityError) {
         ++counters_.parityErrors;
+        if (traceSink_)
+            emit(trace::EventType::ParityDetect, index, trace::noBit, 0);
         return outcome;
     }
     // Parity passed; an even number of flips (data+check combined) slips
@@ -114,6 +128,8 @@ SramArray::readParity(size_t index)
     if (data_[index] != shadow_[index]) {
         outcome.silentCorruption = true;
         ++counters_.silentEscapes;
+        if (traceSink_)
+            emit(trace::EventType::Propagate, index, trace::noBit, 0);
     }
     return outcome;
 }
@@ -134,9 +150,26 @@ SramArray::readSecded(size_t index)
             // >= 4 flips aliased to a valid codeword: fully silent.
             outcome.silentCorruption = true;
             ++counters_.silentEscapes;
+            if (traceSink_)
+                emit(trace::EventType::Propagate, index, trace::noBit, 0);
         }
         break;
-      case ecc::CheckStatus::CorrectedSingle:
+      case ecc::CheckStatus::CorrectedSingle: {
+        // The repaired stored bit is whichever position the decoder
+        // changed; observed before the correction is written back.
+        uint32_t fixed_bit = trace::noBit;
+        if (traceSink_) {
+            const uint64_t data_diff = data_[index] ^ result.data;
+            const unsigned check_diff =
+                static_cast<unsigned>(check_[index] ^ result.check);
+            if (data_diff != 0) {
+                fixed_bit = static_cast<uint32_t>(
+                    std::countr_zero(data_diff));
+            } else if (check_diff != 0) {
+                fixed_bit = 64u + static_cast<uint32_t>(
+                                      std::countr_zero(check_diff));
+            }
+        }
         // Scrub the correction back into the array, as hardware does.
         data_[index] = result.data;
         check_[index] = result.check;
@@ -148,10 +181,17 @@ SramArray::readSecded(size_t index)
             outcome.status = ecc::CheckStatus::Miscorrected;
             outcome.silentCorruption = true;
             ++counters_.miscorrections;
+            if (traceSink_)
+                emit(trace::EventType::EccMiscorrect, index, fixed_bit, 0);
+        } else if (traceSink_) {
+            emit(trace::EventType::EccCorrect, index, fixed_bit, 0);
         }
         break;
+      }
       case ecc::CheckStatus::DetectedDouble:
         ++counters_.uncorrected;
+        if (traceSink_)
+            emit(trace::EventType::UeDetect, index, trace::noBit, 0);
         break;
       default:
         panic("unexpected SECDED decode status");

@@ -24,6 +24,8 @@
 
 #include "ecc/ecc_types.hh"
 #include "ecc/secded.hh"
+#include "sim/sim_clock.hh"
+#include "trace/trace_sink.hh"
 
 namespace xser::mem {
 
@@ -129,9 +131,36 @@ class SramArray
     /** Reset contents to zero truth and clear statistics. */
     void reset();
 
+    /**
+     * Attach a lifecycle trace sink (null detaches). The array's read
+     * paths are the single chokepoint where every detection and silent
+     * escape becomes visible, so emission here is 1:1 with the counter
+     * increments above -- the invariant the EDAC cross-check relies on.
+     *
+     * @param id This array's row in the trace file's array table.
+     */
+    void setTrace(trace::TraceSink *sink, uint32_t id)
+    {
+        traceSink_ = sink;
+        traceId_ = id;
+    }
+
+    trace::TraceSink *traceSink() const { return traceSink_; }
+    uint32_t traceId() const { return traceId_; }
+
+    /** Simulated-time source for trace timestamps (null = t0). */
+    void setTimeSource(const Tick *now) { now_ = now; }
+
+    /** Current simulated time for emitted events. */
+    Tick now() const { return now_ ? *now_ : 0; }
+
   private:
     ReadOutcome readParity(size_t index);
     ReadOutcome readSecded(size_t index);
+
+    /** Record one lifecycle event for word `index` of this array. */
+    void emit(trace::EventType type, size_t index, uint32_t bit,
+              uint64_t aux);
 
     std::string name_;
     Protection protection_;
@@ -140,6 +169,9 @@ class SramArray
     std::vector<uint8_t> check_;    ///< stored check bits
     std::vector<uint64_t> shadow_;  ///< ground-truth data
     SramCounters counters_;
+    trace::TraceSink *traceSink_ = nullptr;
+    uint32_t traceId_ = trace::noArray;
+    const Tick *now_ = nullptr;
 };
 
 } // namespace xser::mem

@@ -47,8 +47,13 @@ class RefetchableArray
     SramArray &array() { return array_; }
     const SramArray &array() const { return array_; }
 
-    /** Set the simulated-time source used to timestamp EDAC events. */
-    void setTimeSource(const Tick *now) { now_ = now; }
+    /** Set the simulated-time source for EDAC and trace timestamps. */
+    void
+    setTimeSource(const Tick *now)
+    {
+        now_ = now;
+        array_.setTimeSource(now);
+    }
 
     /** Capacity in words. */
     size_t words() const { return array_.words(); }

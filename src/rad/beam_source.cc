@@ -86,6 +86,13 @@ BeamSource::injectEvent(const mem::BeamTarget &target, double delta_v)
         static_cast<unsigned>(rng_.nextBounded(bits_per_word));
 
     array.noteUpsetEvent();
+    if (trace::TraceSink *sink = array.traceSink()) {
+        // One Injection record per upset event; aux carries the sampled
+        // cluster size (the raw-upset side of the lifecycle).
+        sink->record({trace::EventType::Injection, array.now(),
+                      array.traceId(), static_cast<uint64_t>(word), bit,
+                      cluster});
+    }
     const bool interleaved =
         config_.interleaved[static_cast<size_t>(target.level)];
     for (unsigned i = 0; i < cluster; ++i) {

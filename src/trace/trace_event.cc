@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Trace event schema helpers.
+ */
+
+#include "trace/trace_event.hh"
+
+namespace xser::trace {
+
+const char *
+eventTypeName(EventType type)
+{
+    switch (type) {
+      case EventType::Injection: return "Injection";
+      case EventType::ParityDetect: return "ParityDetect";
+      case EventType::EccCorrect: return "EccCorrect";
+      case EventType::EccMiscorrect: return "EccMiscorrect";
+      case EventType::UeDetect: return "UeDetect";
+      case EventType::Scrub: return "Scrub";
+      case EventType::Propagate: return "Propagate";
+      case EventType::OutcomeClassified: return "OutcomeClassified";
+    }
+    return "unknown";
+}
+
+bool
+eventTypeFromName(const std::string &name, EventType &out)
+{
+    for (size_t i = 0; i < numEventTypes; ++i) {
+        const auto type = static_cast<EventType>(i);
+        if (name == eventTypeName(type)) {
+            out = type;
+            return true;
+        }
+    }
+    return false;
+}
+
+LineCoord
+lineCoord(const TraceArrayInfo &info, uint64_t word)
+{
+    LineCoord coord;
+    if (info.wordsPerLine == 0 || info.associativity == 0 ||
+        word >= info.words)
+        return coord;
+    const uint64_t line = word / info.wordsPerLine;
+    coord.valid = true;
+    coord.set = line / info.associativity;
+    coord.way = static_cast<uint32_t>(line % info.associativity);
+    coord.offset = static_cast<uint32_t>(word % info.wordsPerLine);
+    return coord;
+}
+
+} // namespace xser::trace

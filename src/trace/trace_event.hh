@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Typed records of an upset's lifecycle: strike -> detection ->
+ * correction / miscorrection / silent propagation -> software outcome.
+ *
+ * Every event is stamped with simulated time and the full coordinate of
+ * the cell it concerns (array id, word, stored bit); the enclosing
+ * trace unit supplies the campaign-level coordinates (session,
+ * replicate, voltage point). The schema deliberately depends only on
+ * `sim/` so the mem/ecc/rad/inject layers can emit events without a
+ * dependency cycle; cache levels travel as plain `uint8_t` values of
+ * `mem::CacheLevel`.
+ */
+
+#ifndef XSER_TRACE_TRACE_EVENT_HH
+#define XSER_TRACE_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/sim_clock.hh"
+
+namespace xser::trace {
+
+/** Lifecycle stage a record describes. */
+enum class EventType : uint8_t {
+    Injection = 0,      ///< beam/injector upset event landed in an array
+    ParityDetect = 1,   ///< parity caught an odd number of flips
+    EccCorrect = 2,     ///< SECDED repaired a single-bit error
+    EccMiscorrect = 3,  ///< SECDED "repaired" the wrong bit (>=3 flips)
+    UeDetect = 4,       ///< SECDED flagged an uncorrectable double
+    Scrub = 5,          ///< patrol scrub found a non-clean line
+    Propagate = 6,      ///< corrupt data delivered to a consumer
+    OutcomeClassified = 7, ///< a benchmark run was classified
+};
+
+constexpr size_t numEventTypes = 8;
+
+/** Stable display name ("Injection", "ParityDetect", ...). */
+const char *eventTypeName(EventType type);
+
+/** Parse a display name back to a type; false when unknown. */
+bool eventTypeFromName(const std::string &name, EventType &out);
+
+/** Sentinel coordinates for fields an event does not carry. */
+constexpr uint32_t noArray = UINT32_MAX;
+constexpr uint64_t noWord = UINT64_MAX;
+constexpr uint32_t noBit = UINT32_MAX;
+
+/**
+ * One lifecycle record. Field meaning by type:
+ *
+ *  - Injection: word/bit = first struck cell, aux = cluster size (beam)
+ *    or burst size (fault injector);
+ *  - ParityDetect / EccCorrect / EccMiscorrect / UeDetect: word = read
+ *    word, bit = repaired stored bit where known, aux = 0;
+ *  - Scrub: word = base word of the scrubbed line, aux = 1 when the
+ *    line held an uncorrectable error;
+ *  - Propagate: aux = 0 for a silent escape delivered by a read, 1 for
+ *    a dirty uncorrectable line handed downstream (word unknown);
+ *  - OutcomeClassified: array = noArray, word = workload slot in the
+ *    unit's workload list, bit = core::RunOutcome value, aux = flags
+ *    (bit 0 CE notified, bit 1 trapped organically, bit 2 signature
+ *    mismatch).
+ */
+struct TraceEvent {
+    EventType type = EventType::Injection;
+    Tick when = 0;            ///< simulated time (ps)
+    uint32_t array = noArray; ///< row in the trace file's array table
+    uint64_t word = noWord;   ///< word index within the array
+    uint32_t bit = noBit;     ///< stored-bit position within the word
+    uint64_t aux = 0;         ///< type-specific payload (see above)
+};
+
+/** One row of a trace file's array table (id = row index). */
+struct TraceArrayInfo {
+    std::string name;          ///< e.g. "l2.0.data"
+    uint8_t level = 0;         ///< mem::CacheLevel value
+    uint32_t wordsPerLine = 0; ///< 0 when not line-organized (L1I/TLB)
+    uint32_t associativity = 0;
+    uint64_t words = 0;        ///< capacity in 64-bit words
+};
+
+/** Word index decoded into cache geometry, when the array has one. */
+struct LineCoord {
+    bool valid = false; ///< false for non-line-organized arrays
+    uint64_t set = 0;
+    uint32_t way = 0;
+    uint32_t offset = 0; ///< word offset within the line
+};
+
+/** Decode a word index against an array's geometry. */
+LineCoord lineCoord(const TraceArrayInfo &info, uint64_t word);
+
+} // namespace xser::trace
+
+#endif // XSER_TRACE_TRACE_EVENT_HH

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Trace file reader implementation.
+ */
+
+#include "trace/trace_reader.hh"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "trace/trace_writer.hh"
+#include "trace/varint.hh"
+
+namespace xser::trace {
+
+namespace {
+
+/** Sanity caps so a corrupt length cannot drive a huge allocation. */
+constexpr uint64_t maxNameLength = 4096;
+constexpr uint64_t maxArrayCount = 1u << 20;
+constexpr uint64_t maxWorkloadCount = 4096;
+
+TraceFile
+failed(const std::string &error)
+{
+    TraceFile file;
+    file.error = error;
+    return file;
+}
+
+bool
+getString(std::string_view data, size_t &pos, uint64_t max_length,
+          std::string &out)
+{
+    uint64_t length = 0;
+    if (!getVarint(data, pos, length) || length > max_length ||
+        pos + length > data.size())
+        return false;
+    out.assign(data.substr(pos, length));
+    pos += length;
+    return true;
+}
+
+} // namespace
+
+std::array<uint64_t, numEventTypes>
+TraceUnit::typeCounts() const
+{
+    std::array<uint64_t, numEventTypes> counts{};
+    for (const TraceEvent &event : events)
+        ++counts[static_cast<size_t>(event.type)];
+    return counts;
+}
+
+uint64_t
+TraceFile::totalEvents() const
+{
+    uint64_t total = 0;
+    for (const TraceUnit &unit : units)
+        total += unit.events.size();
+    return total;
+}
+
+uint64_t
+TraceFile::totalDropped() const
+{
+    uint64_t total = 0;
+    for (const TraceUnit &unit : units)
+        total += unit.dropped;
+    return total;
+}
+
+std::array<uint64_t, numEventTypes>
+TraceFile::typeCounts() const
+{
+    std::array<uint64_t, numEventTypes> counts{};
+    for (const TraceUnit &unit : units) {
+        const auto unit_counts = unit.typeCounts();
+        for (size_t i = 0; i < numEventTypes; ++i)
+            counts[i] += unit_counts[i];
+    }
+    return counts;
+}
+
+TraceFile
+decodeTrace(std::string_view bytes)
+{
+    if (bytes.size() < sizeof(traceMagic) ||
+        std::memcmp(bytes.data(), traceMagic, sizeof(traceMagic)) != 0)
+        return failed("not a trace file (bad magic)");
+
+    TraceFile file;
+    size_t pos = sizeof(traceMagic);
+    if (!getVarint(bytes, pos, file.version))
+        return failed("truncated trace file (version)");
+    if (file.version != traceFormatVersion) {
+        std::ostringstream message;
+        message << "unsupported trace version " << file.version
+                << " (expected " << traceFormatVersion << ")";
+        return failed(message.str());
+    }
+
+    uint64_t array_count = 0;
+    uint64_t unit_count = 0;
+    if (!getVarint(bytes, pos, file.seed) ||
+        !getVarint(bytes, pos, file.configHash) ||
+        !getVarint(bytes, pos, array_count))
+        return failed("truncated trace file (header)");
+    if (array_count > maxArrayCount)
+        return failed("corrupt trace file (implausible array count)");
+    file.arrays.reserve(static_cast<size_t>(array_count));
+    for (uint64_t i = 0; i < array_count; ++i) {
+        TraceArrayInfo array;
+        uint64_t level = 0;
+        uint64_t words_per_line = 0;
+        uint64_t associativity = 0;
+        if (!getString(bytes, pos, maxNameLength, array.name) ||
+            !getVarint(bytes, pos, level) ||
+            !getVarint(bytes, pos, words_per_line) ||
+            !getVarint(bytes, pos, associativity) ||
+            !getVarint(bytes, pos, array.words) ||
+            level > UINT8_MAX || words_per_line > UINT32_MAX ||
+            associativity > UINT32_MAX)
+            return failed("truncated trace file (array table)");
+        array.level = static_cast<uint8_t>(level);
+        array.wordsPerLine = static_cast<uint32_t>(words_per_line);
+        array.associativity = static_cast<uint32_t>(associativity);
+        file.arrays.push_back(std::move(array));
+    }
+    if (!getVarint(bytes, pos, unit_count))
+        return failed("truncated trace file (unit count)");
+
+    for (uint64_t u = 0; u < unit_count; ++u) {
+        TraceUnit unit;
+        uint64_t session = 0;
+        uint64_t replicate = 0;
+        uint64_t workload_count = 0;
+        uint64_t event_count = 0;
+        if (!getVarint(bytes, pos, session) ||
+            !getVarint(bytes, pos, replicate) ||
+            session > UINT32_MAX || replicate > UINT32_MAX ||
+            !getDoubleBits(bytes, pos, unit.info.pmdMillivolts) ||
+            !getDoubleBits(bytes, pos, unit.info.socMillivolts) ||
+            !getDoubleBits(bytes, pos, unit.info.frequencyHz) ||
+            !getVarint(bytes, pos, workload_count) ||
+            workload_count > maxWorkloadCount)
+            return failed("truncated trace file (unit header)");
+        unit.info.session = static_cast<uint32_t>(session);
+        unit.info.replicate = static_cast<uint32_t>(replicate);
+        unit.info.workloads.reserve(
+            static_cast<size_t>(workload_count));
+        for (uint64_t w = 0; w < workload_count; ++w) {
+            std::string name;
+            if (!getString(bytes, pos, maxNameLength, name))
+                return failed("truncated trace file (workload names)");
+            unit.info.workloads.push_back(std::move(name));
+        }
+        if (!getVarint(bytes, pos, unit.dropped) ||
+            !getVarint(bytes, pos, event_count))
+            return failed("truncated trace file (event count)");
+        // Each event occupies at least 6 bytes, so an event count that
+        // outruns the remaining bytes is corruption, not data.
+        if (event_count > (bytes.size() - pos))
+            return failed("corrupt trace file (implausible event count)");
+        unit.events.reserve(static_cast<size_t>(event_count));
+        Tick previous = 0;
+        for (uint64_t e = 0; e < event_count; ++e) {
+            TraceEvent event;
+            uint64_t type = 0;
+            uint64_t delta = 0;
+            uint64_t array_plus1 = 0;
+            uint64_t word_plus1 = 0;
+            uint64_t bit_plus1 = 0;
+            if (!getVarint(bytes, pos, type) ||
+                !getVarint(bytes, pos, delta) ||
+                !getVarint(bytes, pos, array_plus1) ||
+                !getVarint(bytes, pos, word_plus1) ||
+                !getVarint(bytes, pos, bit_plus1) ||
+                !getVarint(bytes, pos, event.aux))
+                return failed("truncated trace file (events)");
+            if (type >= numEventTypes)
+                return failed("corrupt trace file (unknown event type)");
+            if (array_plus1 > UINT32_MAX || bit_plus1 > UINT32_MAX)
+                return failed("corrupt trace file (coordinate range)");
+            event.type = static_cast<EventType>(type);
+            event.when = previous + delta;
+            previous = event.when;
+            event.array = array_plus1 == 0
+                ? noArray
+                : static_cast<uint32_t>(array_plus1 - 1);
+            event.word = word_plus1 - 1; // 0 wraps back to noWord
+            event.bit = bit_plus1 == 0
+                ? noBit
+                : static_cast<uint32_t>(bit_plus1 - 1);
+            unit.events.push_back(event);
+        }
+        file.units.push_back(std::move(unit));
+    }
+    if (pos != bytes.size())
+        return failed("corrupt trace file (trailing bytes)");
+    file.ok = true;
+    return file;
+}
+
+TraceFile
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return failed("cannot open trace file '" + path + "'");
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    if (in.bad())
+        return failed("I/O error reading trace file '" + path + "'");
+    return decodeTrace(contents.str());
+}
+
+} // namespace xser::trace

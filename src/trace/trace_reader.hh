@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reader for .xtrace files (see trace_writer.hh for the layout).
+ *
+ * Decoding never throws and never trusts the input: bad magic, an
+ * unsupported version, truncation, and implausible counts all land in
+ * `TraceFile::ok == false` with a human-readable error, so the CLI and
+ * tests can reject corrupt files gracefully.
+ */
+
+#ifndef XSER_TRACE_TRACE_READER_HH
+#define XSER_TRACE_TRACE_READER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/trace_buffer.hh"
+
+namespace xser::trace {
+
+/** One decoded work unit. */
+struct TraceUnit {
+    TraceUnitInfo info;
+    uint64_t dropped = 0;
+    std::vector<TraceEvent> events;
+
+    /** Per-type event counts of this unit. */
+    std::array<uint64_t, numEventTypes> typeCounts() const;
+};
+
+/** A fully decoded trace file. */
+struct TraceFile {
+    bool ok = false;
+    std::string error; ///< set when !ok
+
+    uint64_t version = 0;
+    uint64_t seed = 0;
+    uint64_t configHash = 0;
+    std::vector<TraceArrayInfo> arrays;
+    std::vector<TraceUnit> units;
+
+    /** Total events across units. */
+    uint64_t totalEvents() const;
+
+    /** Total dropped events across units. */
+    uint64_t totalDropped() const;
+
+    /** Per-type event counts across units. */
+    std::array<uint64_t, numEventTypes> typeCounts() const;
+};
+
+/** Decode an in-memory trace image. */
+TraceFile decodeTrace(std::string_view bytes);
+
+/** Read and decode a trace file from disk. */
+TraceFile readTraceFile(const std::string &path);
+
+} // namespace xser::trace
+
+#endif // XSER_TRACE_TRACE_READER_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * TraceSink implementation.
+ */
+
+#include "trace/trace_sink.hh"
+
+namespace xser::trace {
+
+void
+TraceSink::record(const TraceEvent &event)
+{
+    const auto type = static_cast<size_t>(event.type);
+    ++typeCounts_[type];
+    if (event.array != noArray && event.array < levels_.size()) {
+        const uint8_t level = levels_[event.array];
+        if (level < maxTraceLevels)
+            ++levelCounts_[type][level];
+    }
+    doRecord(event);
+}
+
+void
+TraceSink::clear()
+{
+    typeCounts_ = {};
+    levelCounts_ = {};
+    doClear();
+}
+
+void
+TraceSink::registerArray(uint32_t id, uint8_t level)
+{
+    if (id >= levels_.size())
+        levels_.resize(id + 1, static_cast<uint8_t>(maxTraceLevels));
+    levels_[id] = level;
+}
+
+uint64_t
+TraceSink::count(EventType type, uint8_t level) const
+{
+    if (level >= maxTraceLevels)
+        return 0;
+    return levelCounts_[static_cast<size_t>(type)][level];
+}
+
+uint64_t
+TraceSink::detectionCount(uint8_t level) const
+{
+    return count(EventType::ParityDetect, level) +
+           count(EventType::EccCorrect, level) +
+           count(EventType::EccMiscorrect, level) +
+           count(EventType::UeDetect, level);
+}
+
+} // namespace xser::trace

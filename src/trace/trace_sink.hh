@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The sink interface the instrumented hot paths talk to.
+ *
+ * Emitters hold a `TraceSink *` that is null when tracing is off, so
+ * the disabled path is a single pointer test. The base class keeps
+ * exact per-type and per-(type, level) counters on every record() --
+ * independent of whatever the concrete sink does with the event, and
+ * in particular independent of buffer-capacity drops -- which is what
+ * makes the EDAC cross-check (EdacReporter::consistentWithTrace)
+ * meaningful even for truncated buffers.
+ */
+
+#ifndef XSER_TRACE_TRACE_SINK_HH
+#define XSER_TRACE_TRACE_SINK_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace_event.hh"
+
+namespace xser::trace {
+
+/** Levels distinguishable in per-level counters (>= numCacheLevels). */
+constexpr size_t maxTraceLevels = 8;
+
+/**
+ * Abstract event sink. Concrete sinks override doRecord/doClear; the
+ * non-virtual entry points maintain the counters.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Record one event (counts it, then hands it to the sink). */
+    void record(const TraceEvent &event);
+
+    /** Reset counters and sink contents (start of a measured phase). */
+    void clear();
+
+    /** Declare an array id's cache level for per-level counters. */
+    void registerArray(uint32_t id, uint8_t level);
+
+    /** Events of one type recorded since the last clear(). */
+    uint64_t count(EventType type) const
+    {
+        return typeCounts_[static_cast<size_t>(type)];
+    }
+
+    /** Events of one type attributed to arrays of one level. */
+    uint64_t count(EventType type, uint8_t level) const;
+
+    /**
+     * Hardware-visible detections at one level: ParityDetect +
+     * EccCorrect + EccMiscorrect + UeDetect. Emission is 1:1 with EDAC
+     * posting, so this must equal the level's CE + UE tally.
+     */
+    uint64_t detectionCount(uint8_t level) const;
+
+  protected:
+    virtual void doRecord(const TraceEvent &event) = 0;
+    virtual void doClear() = 0;
+
+  private:
+    std::vector<uint8_t> levels_; ///< array id -> cache level
+    std::array<uint64_t, numEventTypes> typeCounts_{};
+    std::array<std::array<uint64_t, maxTraceLevels>, numEventTypes>
+        levelCounts_{};
+};
+
+} // namespace xser::trace
+
+#endif // XSER_TRACE_TRACE_SINK_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * TraceWriter implementation.
+ */
+
+#include "trace/trace_writer.hh"
+
+#include "sim/logging.hh"
+#include "trace/varint.hh"
+
+namespace xser::trace {
+
+const char traceMagic[4] = {'X', 'T', 'R', 'C'};
+
+TraceWriter::TraceWriter(const std::string &path)
+    : path_(path),
+      out_(path, std::ios::binary | std::ios::trunc)
+{
+    if (!out_)
+        fatal(msg("cannot open trace file '", path_, "' for writing"));
+}
+
+void
+TraceWriter::writeHeader(uint64_t seed, uint64_t config_hash,
+                         const std::vector<TraceArrayInfo> &arrays,
+                         uint64_t unit_count)
+{
+    XSER_ASSERT(!headerWritten_, "trace header written twice");
+    std::string bytes;
+    bytes.append(traceMagic, sizeof(traceMagic));
+    putVarint(bytes, traceFormatVersion);
+    putVarint(bytes, seed);
+    putVarint(bytes, config_hash);
+    putVarint(bytes, arrays.size());
+    for (const TraceArrayInfo &array : arrays) {
+        putVarint(bytes, array.name.size());
+        bytes.append(array.name);
+        putVarint(bytes, array.level);
+        putVarint(bytes, array.wordsPerLine);
+        putVarint(bytes, array.associativity);
+        putVarint(bytes, array.words);
+    }
+    putVarint(bytes, unit_count);
+    out_.write(bytes.data(),
+               static_cast<std::streamsize>(bytes.size()));
+    unitsExpected_ = unit_count;
+    headerWritten_ = true;
+}
+
+std::string
+TraceWriter::encodeUnit(const TraceBuffer &buffer)
+{
+    std::string bytes;
+    putVarint(bytes, buffer.info.session);
+    putVarint(bytes, buffer.info.replicate);
+    putDoubleBits(bytes, buffer.info.pmdMillivolts);
+    putDoubleBits(bytes, buffer.info.socMillivolts);
+    putDoubleBits(bytes, buffer.info.frequencyHz);
+    putVarint(bytes, buffer.info.workloads.size());
+    for (const std::string &name : buffer.info.workloads) {
+        putVarint(bytes, name.size());
+        bytes.append(name);
+    }
+    putVarint(bytes, buffer.dropped());
+    putVarint(bytes, buffer.events().size());
+    Tick previous = 0;
+    for (const TraceEvent &event : buffer.events()) {
+        XSER_ASSERT(event.when >= previous,
+                    "trace timestamps must be monotonic within a unit");
+        putVarint(bytes, static_cast<uint64_t>(event.type));
+        putVarint(bytes, event.when - previous);
+        previous = event.when;
+        // +1 encodings reserve 0 for the "none" sentinels.
+        putVarint(bytes, event.array == noArray
+                             ? 0
+                             : static_cast<uint64_t>(event.array) + 1);
+        putVarint(bytes, event.word + 1); // noWord + 1 wraps to 0
+        putVarint(bytes, event.bit == noBit
+                             ? 0
+                             : static_cast<uint64_t>(event.bit) + 1);
+        putVarint(bytes, event.aux);
+    }
+    return bytes;
+}
+
+void
+TraceWriter::appendUnit(const TraceBuffer &buffer)
+{
+    XSER_ASSERT(headerWritten_, "trace unit appended before header");
+    XSER_ASSERT(unitsWritten_ < unitsExpected_,
+                "more trace units appended than promised");
+    const std::string bytes = encodeUnit(buffer);
+    out_.write(bytes.data(),
+               static_cast<std::streamsize>(bytes.size()));
+    ++unitsWritten_;
+}
+
+void
+TraceWriter::finish()
+{
+    XSER_ASSERT(headerWritten_, "trace finished before header");
+    XSER_ASSERT(unitsWritten_ == unitsExpected_,
+                "trace finished with missing units");
+    out_.flush();
+    if (!out_)
+        fatal(msg("I/O error writing trace file '", path_, "'"));
+    out_.close();
+}
+
+} // namespace xser::trace

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Versioned compact binary trace files (.xtrace).
+ *
+ * Layout (all integers unsigned-LEB128 varints unless noted):
+ *
+ *   "XTRC" magic (4 raw bytes)
+ *   version, campaign seed, config hash
+ *   array count, then per array: name length + bytes, level,
+ *     words-per-line, associativity, words
+ *   unit count
+ *   per unit, in canonical replicate-major order:
+ *     session, replicate
+ *     pmd mV, soc mV, frequency Hz (fixed 8-byte LE doubles)
+ *     workload count, then per workload: name length + bytes
+ *     dropped count, event count
+ *     per event: type, timestamp delta (first is absolute), array+1,
+ *       word+1, bit+1, aux  (the +1 encodings reserve 0 for "none")
+ *
+ * Timestamps within a unit are monotonic (the sim clock only moves
+ * forward), so deltas keep typical events to a handful of bytes. The
+ * writer is deterministic: identical buffers in identical order
+ * produce byte-identical files.
+ */
+
+#ifndef XSER_TRACE_TRACE_WRITER_HH
+#define XSER_TRACE_TRACE_WRITER_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_buffer.hh"
+
+namespace xser::trace {
+
+/** Current format version. */
+constexpr uint64_t traceFormatVersion = 1;
+
+/** The 4-byte file magic. */
+extern const char traceMagic[4];
+
+/**
+ * Streams a trace file: header once, then one unit per work unit in
+ * canonical order, then finish(). Opening happens in the constructor
+ * so an unwritable path fails before any simulation time is spent.
+ */
+class TraceWriter
+{
+  public:
+    /** Opens (truncates) `path`; fatal when it cannot be written. */
+    explicit TraceWriter(const std::string &path);
+
+    /** Write the file header. Must precede any appendUnit(). */
+    void writeHeader(uint64_t seed, uint64_t config_hash,
+                     const std::vector<TraceArrayInfo> &arrays,
+                     uint64_t unit_count);
+
+    /** Append one unit's buffer (call in canonical unit order). */
+    void appendUnit(const TraceBuffer &buffer);
+
+    /** Flush and verify all promised units were written. */
+    void finish();
+
+    const std::string &path() const { return path_; }
+    uint64_t unitsWritten() const { return unitsWritten_; }
+
+    /** Encode one unit section (exposed for round-trip tests). */
+    static std::string encodeUnit(const TraceBuffer &buffer);
+
+  private:
+    std::string path_;
+    std::ofstream out_;
+    uint64_t unitsExpected_ = 0;
+    uint64_t unitsWritten_ = 0;
+    bool headerWritten_ = false;
+};
+
+} // namespace xser::trace
+
+#endif // XSER_TRACE_TRACE_WRITER_HH

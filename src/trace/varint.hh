@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unsigned-LEB128 varint and fixed-width double encoding for the trace
+ * binary format. Doubles travel as their 8-byte little-endian IEEE-754
+ * bit pattern so a round trip is bit-exact -- the same property the
+ * determinism contract demands of the results themselves.
+ */
+
+#ifndef XSER_TRACE_VARINT_HH
+#define XSER_TRACE_VARINT_HH
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xser::trace {
+
+/** Append `value` as an unsigned LEB128 varint (1..10 bytes). */
+inline void
+putVarint(std::string &out, uint64_t value)
+{
+    while (value >= 0x80u) {
+        out.push_back(static_cast<char>(0x80u | (value & 0x7fu)));
+        value >>= 7;
+    }
+    out.push_back(static_cast<char>(value));
+}
+
+/**
+ * Decode a varint at `pos`, advancing it past the encoding.
+ *
+ * @return false on truncation or an over-long (>10 byte) encoding.
+ */
+inline bool
+getVarint(std::string_view data, size_t &pos, uint64_t &value)
+{
+    value = 0;
+    for (unsigned shift = 0; shift < 70; shift += 7) {
+        if (pos >= data.size())
+            return false;
+        const auto byte = static_cast<uint8_t>(data[pos++]);
+        value |= static_cast<uint64_t>(byte & 0x7fu) << shift;
+        if ((byte & 0x80u) == 0)
+            return true;
+    }
+    return false;
+}
+
+/** Append a double as its 8-byte little-endian bit pattern. */
+inline void
+putDoubleBits(std::string &out, double value)
+{
+    const uint64_t bits = std::bit_cast<uint64_t>(value);
+    for (unsigned i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((bits >> (8 * i)) & 0xffu));
+}
+
+/** Decode a fixed 8-byte double; false on truncation. */
+inline bool
+getDoubleBits(std::string_view data, size_t &pos, double &value)
+{
+    if (pos + 8 > data.size())
+        return false;
+    uint64_t bits = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+        bits |= static_cast<uint64_t>(
+                    static_cast<uint8_t>(data[pos + i]))
+                << (8 * i);
+    }
+    pos += 8;
+    value = std::bit_cast<double>(bits);
+    return true;
+}
+
+} // namespace xser::trace
+
+#endif // XSER_TRACE_VARINT_HH

@@ -325,7 +325,8 @@ bool
 inOrderSensitiveDir(const std::string &path)
 {
     return startsWith(path, "src/core/") || startsWith(path, "src/sim/") ||
-           startsWith(path, "src/rad/") || startsWith(path, "src/mem/");
+           startsWith(path, "src/rad/") || startsWith(path, "src/mem/") ||
+           startsWith(path, "src/trace/");
 }
 
 bool

@@ -1,0 +1,357 @@
+/**
+ * @file
+ * xser-trace analysis pass implementations.
+ */
+
+#include "trace/trace_tool.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "core/outcome.hh"
+#include "mem/edac_reporter.hh"
+
+namespace xser::tracetool {
+
+namespace {
+
+/** snprintf into a std::string and append. */
+template <typename... Ts>
+void
+append(std::string &out, const char *format, Ts... values)
+{
+    char line[512];
+    std::snprintf(line, sizeof(line), format, values...);
+    out += line;
+}
+
+const char *
+arrayName(const trace::TraceFile &file, uint32_t id)
+{
+    if (id == trace::noArray || id >= file.arrays.size())
+        return "-";
+    return file.arrays[id].name.c_str();
+}
+
+const char *
+levelName(const trace::TraceFile &file, uint32_t id)
+{
+    if (id == trace::noArray || id >= file.arrays.size())
+        return "-";
+    return mem::cacheLevelName(
+        static_cast<mem::CacheLevel>(file.arrays[id].level));
+}
+
+/** Workload name an OutcomeClassified event refers to. */
+const char *
+workloadName(const trace::TraceUnit &unit, const trace::TraceEvent &event)
+{
+    if (event.word >= unit.info.workloads.size())
+        return "?";
+    return unit.info.workloads[static_cast<size_t>(event.word)].c_str();
+}
+
+std::string
+describeEvent(const trace::TraceFile &file, const trace::TraceUnit &unit,
+              const trace::TraceEvent &event)
+{
+    std::string out;
+    append(out, "t=%-14" PRIu64 " %-17s", event.when,
+           trace::eventTypeName(event.type));
+    if (event.type == trace::EventType::OutcomeClassified) {
+        append(out, " workload=%s outcome=%s", workloadName(unit, event),
+               core::runOutcomeName(
+                   static_cast<core::RunOutcome>(event.bit)));
+        if (event.aux & 1)
+            out += " +ce";
+        if (event.aux & 2)
+            out += " +trap";
+        if (event.aux & 4)
+            out += " +mismatch";
+        return out;
+    }
+    append(out, " %s", arrayName(file, event.array));
+    if (event.word != trace::noWord) {
+        append(out, " word=%" PRIu64, event.word);
+        if (event.array != trace::noArray &&
+            event.array < file.arrays.size()) {
+            const trace::LineCoord coord =
+                trace::lineCoord(file.arrays[event.array], event.word);
+            if (coord.valid)
+                append(out, " (set %" PRIu64 " way %u off %u)",
+                       coord.set, coord.way, coord.offset);
+        }
+    }
+    if (event.bit != trace::noBit)
+        append(out, " bit=%u", event.bit);
+    append(out, " aux=%" PRIu64, event.aux);
+    return out;
+}
+
+} // namespace
+
+std::string
+summarize(const trace::TraceFile &file)
+{
+    std::string out;
+    append(out,
+           "version %" PRIu64 "  seed 0x%" PRIx64
+           "  config 0x%016" PRIx64 "\n",
+           file.version, file.seed, file.configHash);
+    uint64_t total_words = 0;
+    for (const auto &array : file.arrays)
+        total_words += array.words;
+    append(out,
+           "arrays  %zu (%" PRIu64 " words)\nunits   %zu\nevents  %" PRIu64
+           " (%" PRIu64 " dropped)\n",
+           file.arrays.size(), total_words, file.units.size(),
+           file.totalEvents(), file.totalDropped());
+
+    out += "\nper-type totals:\n";
+    const auto totals = file.typeCounts();
+    for (size_t type = 0; type < trace::numEventTypes; ++type) {
+        append(out, "  %-17s %" PRIu64 "\n",
+               trace::eventTypeName(static_cast<trace::EventType>(type)),
+               totals[type]);
+    }
+
+    out += "\nunit  sess repl  pmd(mV)  freq(GHz)    events  dropped\n";
+    for (size_t index = 0; index < file.units.size(); ++index) {
+        const trace::TraceUnit &unit = file.units[index];
+        append(out, "%4zu  %4u %4u  %7.0f  %9.2f  %8zu  %7" PRIu64 "\n",
+               index, unit.info.session, unit.info.replicate,
+               unit.info.pmdMillivolts, unit.info.frequencyHz / 1e9,
+               unit.events.size(), unit.dropped);
+    }
+    return out;
+}
+
+std::string
+filterEvents(const trace::TraceFile &file, const FilterSpec &spec)
+{
+    std::string out;
+    uint64_t matched = 0;
+    for (size_t index = 0; index < file.units.size(); ++index) {
+        const trace::TraceUnit &unit = file.units[index];
+        if (spec.hasSession && unit.info.session != spec.session)
+            continue;
+        if (spec.hasReplicate && unit.info.replicate != spec.replicate)
+            continue;
+        if (spec.hasVoltage &&
+            std::abs(unit.info.pmdMillivolts - spec.pmdMillivolts) >=
+                0.5)
+            continue;
+        for (const trace::TraceEvent &event : unit.events) {
+            if (spec.hasType && event.type != spec.type)
+                continue;
+            if (!spec.array.empty()) {
+                const std::string name = arrayName(file, event.array);
+                if (name.find(spec.array) == std::string::npos)
+                    continue;
+            }
+            if (!spec.outcome.empty()) {
+                if (event.type != trace::EventType::OutcomeClassified)
+                    continue;
+                if (spec.outcome !=
+                    core::runOutcomeName(
+                        static_cast<core::RunOutcome>(event.bit)))
+                    continue;
+            }
+            ++matched;
+            if (matched <= spec.limit) {
+                append(out, "[u%zu s%u/r%u] ", index, unit.info.session,
+                       unit.info.replicate);
+                out += describeEvent(file, unit, event);
+                out += '\n';
+            }
+        }
+    }
+    if (matched > spec.limit)
+        append(out, "... %" PRIu64 " more (raise --limit to see them)\n",
+               matched - spec.limit);
+    append(out, "%" PRIu64 " events matched\n", matched);
+    return out;
+}
+
+std::string
+histogram(const trace::TraceFile &file, const std::string &metric)
+{
+    std::string out;
+    // Ordered maps keep bucket output independent of insertion order.
+    std::map<unsigned, uint64_t> buckets;
+    if (metric == "latency") {
+        for (const trace::TraceUnit &unit : file.units) {
+            for (size_t i = 1; i < unit.events.size(); ++i) {
+                const Tick delta =
+                    unit.events[i].when - unit.events[i - 1].when;
+                unsigned bucket = 0;
+                while ((Tick(1) << (bucket + 1)) <= delta && bucket < 63)
+                    ++bucket;
+                ++buckets[delta == 0 ? 0 : bucket];
+            }
+        }
+        out += "inter-event gap (ps, log2 buckets):\n";
+    } else if (metric == "burst") {
+        for (const trace::TraceUnit &unit : file.units) {
+            for (const trace::TraceEvent &event : unit.events) {
+                if (event.type == trace::EventType::Injection)
+                    ++buckets[static_cast<unsigned>(event.aux)];
+            }
+        }
+        out += "injection cluster size:\n";
+    } else {
+        return "unknown metric '" + metric +
+               "' (expected 'latency' or 'burst')\n";
+    }
+
+    uint64_t peak = 1;
+    for (const auto &[bucket, count] : buckets)
+        peak = std::max(peak, count);
+    for (const auto &[bucket, count] : buckets) {
+        if (metric == "latency")
+            append(out, "  [2^%-2u, 2^%-2u)  %8" PRIu64 "  ", bucket,
+                   bucket + 1, count);
+        else
+            append(out, "  %-4u %8" PRIu64 "  ", bucket, count);
+        const auto width =
+            static_cast<size_t>((count * 40 + peak - 1) / peak);
+        out.append(width, '#');
+        out += '\n';
+    }
+    if (buckets.empty())
+        out += "  (no samples)\n";
+    return out;
+}
+
+std::string
+toCsv(const trace::TraceFile &file)
+{
+    std::string out = "unit,session,replicate,pmd_mv,soc_mv,freq_hz,"
+                      "time_ps,type,array,level,word,set,way,bit,aux,"
+                      "workload,outcome\n";
+    for (size_t index = 0; index < file.units.size(); ++index) {
+        const trace::TraceUnit &unit = file.units[index];
+        for (const trace::TraceEvent &event : unit.events) {
+            append(out, "%zu,%u,%u,%.1f,%.1f,%.0f,%" PRIu64 ",%s,", index,
+                   unit.info.session, unit.info.replicate,
+                   unit.info.pmdMillivolts, unit.info.socMillivolts,
+                   unit.info.frequencyHz, event.when,
+                   trace::eventTypeName(event.type));
+            const bool outcome =
+                event.type == trace::EventType::OutcomeClassified;
+            if (event.array != trace::noArray)
+                append(out, "%s,%s,", arrayName(file, event.array),
+                       levelName(file, event.array));
+            else
+                out += ",,";
+            if (event.word != trace::noWord && !outcome)
+                append(out, "%" PRIu64 ",", event.word);
+            else
+                out += ",";
+            trace::LineCoord coord;
+            if (!outcome && event.array != trace::noArray &&
+                event.array < file.arrays.size() &&
+                event.word != trace::noWord)
+                coord = trace::lineCoord(file.arrays[event.array],
+                                         event.word);
+            if (coord.valid)
+                append(out, "%" PRIu64 ",%u,", coord.set, coord.way);
+            else
+                out += ",,";
+            if (event.bit != trace::noBit && !outcome)
+                append(out, "%u,", event.bit);
+            else
+                out += ",";
+            append(out, "%" PRIu64 ",", event.aux);
+            if (outcome)
+                append(out, "%s,%s\n", workloadName(unit, event),
+                       core::runOutcomeName(
+                           static_cast<core::RunOutcome>(event.bit)));
+            else
+                out += ",\n";
+        }
+    }
+    return out;
+}
+
+std::string
+diffTraces(const trace::TraceFile &a, const trace::TraceFile &b,
+           bool &identical)
+{
+    std::string out;
+    identical = true;
+    auto note = [&out, &identical](const std::string &line) {
+        identical = false;
+        out += line;
+        out += '\n';
+    };
+
+    if (a.seed != b.seed)
+        note("seed differs");
+    if (a.configHash != b.configHash)
+        note("config hash differs (traces are from different "
+             "experiments)");
+    if (a.arrays.size() != b.arrays.size()) {
+        note("array table size differs");
+    } else {
+        for (size_t i = 0; i < a.arrays.size(); ++i) {
+            const trace::TraceArrayInfo &x = a.arrays[i];
+            const trace::TraceArrayInfo &y = b.arrays[i];
+            if (x.name != y.name || x.level != y.level ||
+                x.wordsPerLine != y.wordsPerLine ||
+                x.associativity != y.associativity ||
+                x.words != y.words) {
+                note("array " + std::to_string(i) + " differs (" +
+                     x.name + " vs " + y.name + ")");
+                break;
+            }
+        }
+    }
+
+    if (a.units.size() != b.units.size()) {
+        note("unit count differs (" + std::to_string(a.units.size()) +
+             " vs " + std::to_string(b.units.size()) + ")");
+        out += identical ? "traces identical\n" : "";
+        return out;
+    }
+
+    for (size_t u = 0; u < a.units.size(); ++u) {
+        const trace::TraceUnit &x = a.units[u];
+        const trace::TraceUnit &y = b.units[u];
+        std::string prefix = "unit " + std::to_string(u) + ": ";
+        if (x.info.session != y.info.session ||
+            x.info.replicate != y.info.replicate ||
+            x.info.workloads != y.info.workloads) {
+            note(prefix + "identity differs");
+            continue;
+        }
+        if (x.dropped != y.dropped)
+            note(prefix + "dropped count differs");
+        if (x.events.size() != y.events.size()) {
+            note(prefix + "event count differs (" +
+                 std::to_string(x.events.size()) + " vs " +
+                 std::to_string(y.events.size()) + ")");
+            continue;
+        }
+        for (size_t i = 0; i < x.events.size(); ++i) {
+            const trace::TraceEvent &p = x.events[i];
+            const trace::TraceEvent &q = y.events[i];
+            if (p.type != q.type || p.when != q.when ||
+                p.array != q.array || p.word != q.word ||
+                p.bit != q.bit || p.aux != q.aux) {
+                note(prefix + "first differing event at index " +
+                     std::to_string(i));
+                break;
+            }
+        }
+    }
+
+    if (identical)
+        out += "traces identical\n";
+    return out;
+}
+
+} // namespace xser::tracetool

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Analysis passes behind the xser-trace CLI.
+ *
+ * Every pass is a pure function from a decoded TraceFile to a report
+ * string, so tests/test_trace.cc can drive them in-process and the CLI
+ * in tools/trace/main.cc stays a thin argument shim.
+ */
+
+#ifndef XSER_TOOLS_TRACE_TRACE_TOOL_HH
+#define XSER_TOOLS_TRACE_TRACE_TOOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace_reader.hh"
+
+namespace xser::tracetool {
+
+/** Event predicate for the `filter` command (all fields ANDed). */
+struct FilterSpec {
+    bool hasSession = false;
+    uint32_t session = 0;
+    bool hasReplicate = false;
+    uint32_t replicate = 0;
+    std::string array;    ///< array-name substring; empty = any
+    bool hasType = false;
+    trace::EventType type = trace::EventType::Injection;
+    std::string outcome;  ///< RunOutcome name; empty = any
+    bool hasVoltage = false;
+    double pmdMillivolts = 0.0;  ///< match within 0.5 mV
+    uint64_t limit = 50;  ///< max printed events
+};
+
+/** Header, per-type totals, and a per-unit table. */
+std::string summarize(const trace::TraceFile &file);
+
+/** Matching events, one line each, capped at spec.limit. */
+std::string filterEvents(const trace::TraceFile &file,
+                         const FilterSpec &spec);
+
+/**
+ * Histogram report. Metrics:
+ *  - "latency": log2-bucketed inter-event simulated-time gaps, pooled
+ *    over units (each unit's deltas are internal to that unit);
+ *  - "burst": injection cluster-size distribution (Injection aux).
+ */
+std::string histogram(const trace::TraceFile &file,
+                      const std::string &metric);
+
+/** Flat CSV of every event with denormalized unit/array columns. */
+std::string toCsv(const trace::TraceFile &file);
+
+/**
+ * Structural comparison of two traces. Reports the first divergence
+ * per section; `identical` is set to true only on a byte-equivalent
+ * logical match (header, arrays, units, and every event).
+ */
+std::string diffTraces(const trace::TraceFile &a,
+                       const trace::TraceFile &b, bool &identical);
+
+} // namespace xser::tracetool
+
+#endif // XSER_TOOLS_TRACE_TRACE_TOOL_HH
