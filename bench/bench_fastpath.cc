@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Throughput gate for the event-driven fast path: run the same reduced
+ * campaign with the fast path off (the reference configuration every
+ * equivalence test compares against) and on (the default), assert the
+ * results are bit-identical, and emit the measurement as
+ * BENCH_fastpath.json for CI artifact upload and regression tracking.
+ *
+ * Usage: bench_fastpath [output.json] [min-speedup]
+ *
+ * Exit status is nonzero when the aggregates diverge (equivalence
+ * broken) or when the measured fast-on/fast-off speedup falls below
+ * `min-speedup` (performance regression) -- CI passes a floor 20%
+ * under the recorded reference so routine noise passes but a real
+ * regression fails the job.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/parallel_campaign.hh"
+
+namespace {
+
+using namespace xser;
+
+/**
+ * Recorded before/after of the tentpole change on this repo's pinned
+ * throughput benchmark (bench_parallel_scaling, XSER_SCALE=0.01
+ * XSER_JOBS=4, single-hardware-thread container): wall-clock for the
+ * 8-unit sweep at 1 worker dropped from 142.28 s (seed implementation,
+ * per-quantum Poisson sampling and full-codec reads everywhere) to
+ * 20.84 s. These constants are documentation of that measurement, not
+ * inputs to the gate below.
+ */
+constexpr double referenceSeedSeconds = 142.28;
+constexpr double referenceCurrentSeconds = 20.84;
+
+/** One timed end-to-end campaign run. */
+struct Timed {
+    double seconds = 0.0;
+    core::CampaignResult result;
+};
+
+Timed
+timedRun(const core::CampaignConfig &config)
+{
+    core::ParallelRunConfig run;
+    run.jobs = bench::benchJobs();
+    core::ParallelCampaignRunner runner(config, run);
+    Timed timed;
+    const auto start = std::chrono::steady_clock::now();
+    timed.result = runner.execute();
+    timed.seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    return timed;
+}
+
+bool
+resultsIdentical(const core::CampaignResult &a,
+                 const core::CampaignResult &b)
+{
+    if (a.sessions.size() != b.sessions.size())
+        return false;
+    for (size_t s = 0; s < a.sessions.size(); ++s) {
+        const core::SessionResult &x = a.sessions[s];
+        const core::SessionResult &y = b.sessions[s];
+        if (x.runs != y.runs || x.upsetsDetected != y.upsetsDetected ||
+            x.rawUpsetEvents != y.rawUpsetEvents ||
+            x.fluence != y.fluence ||
+            x.events.sdcSilent != y.events.sdcSilent ||
+            x.events.sdcNotified != y.events.sdcNotified ||
+            x.events.appCrash != y.events.appCrash ||
+            x.events.sysCrash != y.events.sysCrash)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_fastpath.json";
+    const double min_speedup = argc > 2 ? std::atof(argv[2]) : 0.0;
+
+    bench::banner("Fast-path throughput gate");
+    // Small smoke scale by default: the point is the ratio and the
+    // equivalence check, not statistics (XSER_SCALE raises it).
+    const double scale = bench::campaignScaleFromEnv(0.02);
+
+    core::CampaignConfig config = core::BeamCampaign::paperCampaign(scale);
+    core::setFastPath(config, false);
+    const Timed off = timedRun(config);
+    core::setFastPath(config, true);
+    const Timed on = timedRun(config);
+
+    const bool identical = resultsIdentical(off.result, on.result);
+    const double speedup = off.seconds / on.seconds;
+    const double sessions = static_cast<double>(on.result.sessions.size());
+
+    std::printf("fast path off: %.2f s\n", off.seconds);
+    std::printf("fast path on:  %.2f s\n", on.seconds);
+    std::printf("speedup:       %.2fx\n", speedup);
+    std::printf("bit-identical results: %s\n",
+                identical ? "yes" : "NO -- EQUIVALENCE BROKEN");
+
+    std::ofstream json(out_path);
+    json.precision(6);
+    json << "{\n"
+         << "  \"bench\": \"fastpath\",\n"
+         << "  \"scale\": " << scale << ",\n"
+         << "  \"jobs\": " << bench::benchJobs() << ",\n"
+         << "  \"fast_off_seconds\": " << off.seconds << ",\n"
+         << "  \"fast_on_seconds\": " << on.seconds << ",\n"
+         << "  \"speedup_fast_on_over_off\": " << speedup << ",\n"
+         << "  \"sessions_per_second_fast_on\": "
+         << sessions / on.seconds << ",\n"
+         << "  \"sessions_per_second_fast_off\": "
+         << sessions / off.seconds << ",\n"
+         << "  \"aggregates_identical\": "
+         << (identical ? "true" : "false") << ",\n"
+         << "  \"reference_parallel_scaling\": {\n"
+         << "    \"bench\": \"bench_parallel_scaling XSER_SCALE=0.01 "
+            "XSER_JOBS=4, 1 worker row\",\n"
+         << "    \"seed_seconds\": " << referenceSeedSeconds << ",\n"
+         << "    \"current_seconds\": " << referenceCurrentSeconds
+         << ",\n"
+         << "    \"speedup\": "
+         << referenceSeedSeconds / referenceCurrentSeconds << "\n"
+         << "  }\n"
+         << "}\n";
+    json.close();
+    std::printf("wrote %s\n", out_path.c_str());
+
+    if (!identical)
+        return 1;
+    if (min_speedup > 0.0 && speedup < min_speedup) {
+        std::printf("REGRESSION: speedup %.2fx below the %.2fx floor\n",
+                    speedup, min_speedup);
+        return 1;
+    }
+    return 0;
+}

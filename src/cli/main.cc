@@ -54,11 +54,13 @@ usage()
         "  session       one accelerated beam session\n"
         "                  --pmd MV [--soc MV] [--freq HZ]\n"
         "                  --events N --fluence NCM2 --warmup N\n"
-        "                  --seed S --csv FILE\n"
+        "                  --seed S --csv FILE --fastpath on|off\n"
         "                  --trace FILE --trace-buffer-events N\n"
         "  campaign      the paper's four Table 2 sessions\n"
         "                  --scale F --seed S --csv FILE\n"
         "                  --jobs N|auto --replicates R\n"
+        "                  --fastpath on|off (off = reference paths;\n"
+        "                  bit-identical results either way)\n"
         "                  --trace FILE --trace-buffer-events N\n"
         "                  (results and trace files bit-identical for\n"
         "                  any --jobs; see README 'Parallel execution')\n"
@@ -129,6 +131,19 @@ makeTraceWriter(const cli::Args &args)
     return std::make_unique<trace::TraceWriter>(path);
 }
 
+/** Parse --fastpath on|off (default on). */
+bool
+fastPathFlag(const cli::Args &args)
+{
+    const std::string value = args.get("fastpath", "on");
+    if (value == "on")
+        return true;
+    if (value == "off")
+        return false;
+    fatal("option --fastpath expects 'on' or 'off'");
+    return true;
+}
+
 int
 cmdSession(const cli::Args &args)
 {
@@ -147,6 +162,8 @@ cmdSession(const cli::Args &args)
     config.warmupRounds = static_cast<unsigned>(
         args.getUint("warmup", config.warmupRounds));
     config.seed = args.getUint("seed", 0x5e5510ULL);
+    const bool fastpath = fastPathFlag(args);
+    config.beam.skipAhead = fastpath;
 
     std::unique_ptr<trace::TraceWriter> writer = makeTraceWriter(args);
     std::unique_ptr<trace::TraceBuffer> buffer;
@@ -162,7 +179,9 @@ cmdSession(const cli::Args &args)
         config.traceSink = buffer.get();
     }
 
-    cpu::XGene2Platform platform;
+    cpu::PlatformConfig platform_config;
+    platform_config.memory.fastPath = fastpath;
+    cpu::XGene2Platform platform(platform_config);
     core::TestSession session(&platform, config);
     const core::SessionResult result = session.execute();
 
@@ -231,8 +250,10 @@ cmdCampaign(const cli::Args &args)
                       trace::TraceBuffer::defaultMaxEvents, 1,
                       maxTraceBufferEvents);
     std::unique_ptr<trace::TraceWriter> writer = makeTraceWriter(args);
-    core::ParallelCampaignRunner runner(
-        core::BeamCampaign::paperCampaign(scale, seed), run);
+    core::CampaignConfig campaign =
+        core::BeamCampaign::paperCampaign(scale, seed);
+    core::setFastPath(campaign, fastPathFlag(args));
+    core::ParallelCampaignRunner runner(campaign, run);
     const core::ReplicatedCampaignResult sweep =
         runner.executeAll(writer.get());
     if (writer)

@@ -17,6 +17,14 @@ BeamCampaign::BeamCampaign(const CampaignConfig &config) : config_(config)
         fatal("campaign needs at least one session");
 }
 
+void
+setFastPath(CampaignConfig &config, bool enabled)
+{
+    config.platform.memory.fastPath = enabled;
+    for (auto &session : config.sessions)
+        session.beam.skipAhead = enabled;
+}
+
 CampaignResult
 BeamCampaign::execute()
 {

@@ -21,6 +21,14 @@ struct CampaignConfig {
     std::vector<SessionConfig> sessions;
 };
 
+/**
+ * Flip every event-driven fast path of a campaign at once: the beam's
+ * skip-ahead sampler and the memory system's clean-word/clean-array
+ * shortcuts. Both settings are observably equivalent by contract
+ * (DESIGN.md section 8); campaigns run with them off only to prove it.
+ */
+void setFastPath(CampaignConfig &config, bool enabled);
+
 /** Campaign outcome: one result per session, in order. */
 struct CampaignResult {
     std::vector<SessionResult> sessions;

@@ -5,14 +5,14 @@
 
 #include "ecc/parity.hh"
 
-#include <bit>
+#include "ecc/swar.hh"
 
 namespace xser::ecc {
 
 uint8_t
 ParityCodec::parityOf(uint64_t value)
 {
-    return static_cast<uint8_t>(std::popcount(value) & 1);
+    return static_cast<uint8_t>(swar::parity64(value));
 }
 
 uint8_t

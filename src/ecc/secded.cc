@@ -20,6 +20,7 @@
 #include <array>
 #include <bit>
 
+#include "ecc/swar.hh"
 #include "sim/logging.hh"
 
 namespace xser::ecc {
@@ -63,21 +64,18 @@ struct Tables {
 
 constexpr Tables tables;
 
-/** Parity (0/1) of a 64-bit value. */
-inline int
-parity64(uint64_t value)
-{
-    return std::popcount(value) & 1;
-}
-
-/** Recompute the 7-bit Hamming syndrome over stored data + check. */
+/**
+ * Recompute the 7-bit Hamming syndrome over stored data + check: seven
+ * word-parallel masked-parity reductions, one per coverage class,
+ * instead of a walk over the 72 codeword bits.
+ */
 inline uint8_t
 computeSyndrome(uint64_t data, uint8_t check)
 {
     uint8_t syndrome = 0;
     for (int i = 0; i < 7; ++i) {
-        const int bit =
-            parity64(data & tables.coverMask[i]) ^ ((check >> i) & 1);
+        const int bit = swar::parity64(data & tables.coverMask[i]) ^
+                        ((check >> i) & 1);
         syndrome |= static_cast<uint8_t>(bit << i);
     }
     return syndrome;
@@ -87,7 +85,7 @@ computeSyndrome(uint64_t data, uint8_t check)
 inline int
 overallParity(uint64_t data, uint8_t check)
 {
-    return (std::popcount(data) + std::popcount(check)) & 1;
+    return swar::parity72(data, check);
 }
 
 } // namespace
@@ -105,7 +103,7 @@ SecdedCodec::encode(uint64_t data)
     uint8_t check = 0;
     for (int i = 0; i < 7; ++i) {
         check |= static_cast<uint8_t>(
-            parity64(data & tables.coverMask[i]) << i);
+            swar::parity64(data & tables.coverMask[i]) << i);
     }
     // Overall parity makes the popcount of the whole codeword even.
     check |= static_cast<uint8_t>(overallParity(data, check) << 7);

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Word-parallel (SWAR) bit kernels shared by the protection codecs.
+ *
+ * The semantics are defined by the bit-serial reference loops kept in
+ * tests/test_ecc.cc: parity64(v) is the XOR over the 64 individual bits
+ * of v, and syndrome/encode reductions are XORs over per-bit masked
+ * contributions. Here each reduction collapses to one hardware popcount
+ * (or an XOR shift-fold where popcount would need the carry dropped),
+ * which is what keeps the codecs off the campaign's critical path --
+ * every cache fill, writeback, and patrol scan decodes eight words.
+ * The differential ECC tests prove these kernels match the reference
+ * loops over all single-bit flips and randomized multi-bit flips.
+ */
+
+#ifndef XSER_ECC_SWAR_HH
+#define XSER_ECC_SWAR_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace xser::ecc::swar {
+
+/** Parity (0/1) of a 64-bit value: XOR of its bits, word-parallel. */
+inline int
+parity64(uint64_t value)
+{
+    return std::popcount(value) & 1;
+}
+
+/**
+ * Parity (0/1) over a stored 72-bit codeword (64 data + 8 check bits),
+ * i.e. the extended-Hamming overall-parity reduction.
+ */
+inline int
+parity72(uint64_t data, uint8_t check)
+{
+    return (std::popcount(data) + std::popcount(check)) & 1;
+}
+
+/**
+ * XOR-fold parity of a 64-bit value without popcount: folds the word
+ * onto itself until one bit remains. Same result as parity64; kept as
+ * the portable fallback shape and exercised by the differential tests.
+ */
+inline int
+parityFold64(uint64_t value)
+{
+    value ^= value >> 32;
+    value ^= value >> 16;
+    value ^= value >> 8;
+    value ^= value >> 4;
+    value ^= value >> 2;
+    value ^= value >> 1;
+    return static_cast<int>(value & 1);
+}
+
+} // namespace xser::ecc::swar
+
+#endif // XSER_ECC_SWAR_HH

@@ -5,6 +5,8 @@
 
 #include "mem/cache.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace xser::mem {
@@ -19,19 +21,7 @@ Cache::Cache(const CacheConfig &config, EdacReporter *reporter)
 {
     XSER_ASSERT(reporter_ != nullptr, "cache needs an EDAC reporter");
     meta_.resize(geometry_.numLines());
-}
-
-int
-Cache::findWay(Addr addr) const
-{
-    const size_t set = geometry_.setIndex(addr);
-    const Addr tag = geometry_.tag(addr);
-    for (unsigned way = 0; way < config_.associativity; ++way) {
-        const auto &line = meta_[set * config_.associativity + way];
-        if (line.valid && line.tag == tag)
-            return static_cast<int>(way);
-    }
-    return -1;
+    filter_.assign(size_t{1} << filterBucketBits, 0);
 }
 
 unsigned
@@ -49,12 +39,6 @@ Cache::victimWay(size_t set) const
         }
     }
     return victim;
-}
-
-size_t
-Cache::lineWordBase(size_t set, unsigned way) const
-{
-    return (set * config_.associativity + way) * geometry_.wordsPerLine();
 }
 
 void
@@ -89,55 +73,17 @@ Cache::outcomeUncorrectable(const ReadOutcome &outcome) const
 }
 
 bool
-Cache::contains(Addr addr) const
-{
-    return findWay(addr) >= 0;
-}
-
-bool
 Cache::isDirty(Addr addr) const
 {
     const int way = findWay(addr);
     if (way < 0)
         return false;
-    const size_t set = geometry_.setIndex(addr);
-    return meta_[set * config_.associativity + way].dirty;
-}
-
-ReadOutcome
-Cache::readWord(Addr addr)
-{
-    const int way = findWay(addr);
-    XSER_ASSERT(way >= 0, msg("readWord miss in ", config_.name));
-    const size_t set = geometry_.setIndex(addr);
-    auto &line = meta_[set * config_.associativity + way];
-    line.lastUse = ++useCounter_;
-
-    const size_t index = lineWordBase(set, way) + geometry_.wordOffset(addr);
-    ReadOutcome outcome = dataArray_.read(index);
-    postEdac(outcome);
-    return outcome;
-}
-
-void
-Cache::writeWord(Addr addr, uint64_t value)
-{
-    const int way = findWay(addr);
-    XSER_ASSERT(way >= 0, msg("writeWord miss in ", config_.name));
-    const size_t set = geometry_.setIndex(addr);
-    auto &line = meta_[set * config_.associativity + way];
-    line.lastUse = ++useCounter_;
-    if (config_.writePolicy == WritePolicy::WriteBack)
-        line.dirty = true;
-
-    const size_t index = lineWordBase(set, way) + geometry_.wordOffset(addr);
-    dataArray_.write(index, value);
+    return wayDirty(addr, way);
 }
 
 bool
-Cache::readLine(Addr addr, std::vector<uint64_t> &out)
+Cache::readLine(Addr addr, std::vector<uint64_t> &out, int way)
 {
-    const int way = findWay(addr);
     XSER_ASSERT(way >= 0, msg("readLine miss in ", config_.name));
     const size_t set = geometry_.setIndex(addr);
     auto &line = meta_[set * config_.associativity + way];
@@ -149,9 +95,11 @@ Cache::readLine(Addr addr, std::vector<uint64_t> &out)
     bool uncorrectable = false;
     for (size_t i = 0; i < words; ++i) {
         ReadOutcome outcome = dataArray_.read(base + i);
-        postEdac(outcome);
-        if (outcomeUncorrectable(outcome))
-            uncorrectable = true;
+        if (outcome.status != ecc::CheckStatus::Clean) {
+            postEdac(outcome);
+            if (outcomeUncorrectable(outcome))
+                uncorrectable = true;
+        }
         out[i] = outcome.value;
     }
     return uncorrectable;
@@ -163,7 +111,10 @@ Cache::allocate(Addr addr, const std::vector<uint64_t> &line, bool dirty)
     XSER_ASSERT(line.size() == geometry_.wordsPerLine(),
                 "allocate with wrong line length");
     const size_t set = geometry_.setIndex(addr);
-    XSER_ASSERT(findWay(addr) < 0,
+    // A present line always has a nonzero filter bucket, so the cheap
+    // filter test screens the double-allocate invariant without a tag
+    // search on the (overwhelmingly common) definitely-absent case.
+    XSER_ASSERT(!mayContain(addr) || findWay(addr) < 0,
                 msg("allocate of already-present line in ", config_.name));
 
     const unsigned way = victimWay(set);
@@ -182,15 +133,20 @@ Cache::allocate(Addr addr, const std::vector<uint64_t> &line, bool dirty)
             evicted.data.resize(words);
             for (size_t i = 0; i < words; ++i) {
                 ReadOutcome outcome = dataArray_.read(base + i);
-                postEdac(outcome);
-                if (outcomeUncorrectable(outcome))
-                    evicted.hadUncorrectable = true;
+                if (outcome.status != ecc::CheckStatus::Clean) {
+                    postEdac(outcome);
+                    if (outcomeUncorrectable(outcome))
+                        evicted.hadUncorrectable = true;
+                }
                 evicted.data[i] = outcome.value;
             }
             ++stats_.writebacks;
         }
     }
 
+    if (evicted.valid)
+        filterRemove(evicted.address);
+    filterAdd(addr);
     slot.tag = geometry_.tag(addr);
     slot.valid = true;
     slot.dirty = dirty;
@@ -208,9 +164,18 @@ Cache::invalidate(Addr addr)
     const int way = findWay(addr);
     if (way < 0)
         return;
+    invalidateWay(addr, way);
+}
+
+void
+Cache::invalidateWay(Addr addr, int way)
+{
     const size_t set = geometry_.setIndex(addr);
-    meta_[set * config_.associativity + way].valid = false;
-    meta_[set * config_.associativity + way].dirty = false;
+    auto &line = meta_[set * config_.associativity +
+                       static_cast<unsigned>(way)];
+    line.valid = false;
+    line.dirty = false;
+    filterRemove(addr);
     ++stats_.invalidations;
 }
 
@@ -221,6 +186,7 @@ Cache::invalidateAll()
         line.valid = false;
         line.dirty = false;
     }
+    std::fill(filter_.begin(), filter_.end(), 0);
 }
 
 Cache::ScrubResult
@@ -241,6 +207,14 @@ Cache::scrubLine(size_t line_index)
 
     const size_t base = lineWordBase(set, way);
     const size_t words = geometry_.wordsPerLine();
+    if (dataArray_.fastPath() &&
+        !dataArray_.anyCorruptInRange(base, words)) {
+        // A patrol pass over a clean line is pure reads of clean words:
+        // no EDAC posting, no trace, no invalidation, and the read-out
+        // data is only consumed on a dirty uncorrectable hit -- which a
+        // clean line cannot be. Skip the scan entirely.
+        return result;
+    }
     result.data.resize(words);
     bool found_error = false;
     for (size_t i = 0; i < words; ++i) {
@@ -266,6 +240,7 @@ Cache::scrubLine(size_t line_index)
         // owner writes dirty data (corrupt as it is) downstream.
         slot.valid = false;
         slot.dirty = false;
+        filterRemove(result.address);
         ++stats_.invalidations;
     }
     return result;
@@ -298,6 +273,7 @@ Cache::drainAll()
         slot.valid = false;
         slot.dirty = false;
     }
+    std::fill(filter_.begin(), filter_.end(), 0);
     return dirty_lines;
 }
 

@@ -88,24 +88,105 @@ class Cache
         dataArray_.setTimeSource(now);
     }
 
+    /**
+     * Way holding addr, or -1. The hierarchy owner probes once and
+     * passes the found way to the word/line accessors below, so a
+     * hit costs a single tag search instead of one per operation.
+     */
+    int
+    findWay(Addr addr) const
+    {
+        const size_t set = geometry_.setIndex(addr);
+        const Addr tag = geometry_.tag(addr);
+        const LineMeta *line = &meta_[set * config_.associativity];
+        for (unsigned way = 0; way < config_.associativity; ++way) {
+            if (line[way].valid && line[way].tag == tag)
+                return static_cast<int>(way);
+        }
+        return -1;
+    }
+
     /** True when the line containing addr is present. */
-    bool contains(Addr addr) const;
+    bool contains(Addr addr) const { return findWay(addr) >= 0; }
+
+    /**
+     * Conservative presence test from the residency filter: false means
+     * the line is definitely absent (no tag search needed); true means
+     * a tag search is required. The filter counts resident lines per
+     * hash bucket and is updated by every path that changes residency
+     * (allocate, eviction, invalidation, drain, scrub poisoning), so a
+     * zero count is exact -- hash collisions only cause spurious
+     * probes, never missed ones. The hierarchy owner uses this to make
+     * coherence snoops over non-sharing caches O(1).
+     */
+    bool
+    mayContain(Addr addr) const
+    {
+        return filter_[filterBucket(addr)] != 0;
+    }
 
     /** True when the line containing addr is present and dirty. */
     bool isDirty(Addr addr) const;
+
+    /** True when the line at (addr, way) -- from findWay() -- is dirty. */
+    bool
+    wayDirty(Addr addr, int way) const
+    {
+        const size_t set = geometry_.setIndex(addr);
+        return meta_[set * config_.associativity +
+                     static_cast<unsigned>(way)].dirty;
+    }
 
     /**
      * Checked read of the 64-bit word at addr; the line must be present.
      * CE/UE events are posted to the reporter. Status reflects the
      * protection verdict, including ground-truthed miscorrection.
      */
-    ReadOutcome readWord(Addr addr);
+    ReadOutcome readWord(Addr addr) { return readWord(addr, findWay(addr)); }
+
+    /** As readWord(addr), with the way already found by findWay(). */
+    ReadOutcome
+    readWord(Addr addr, int way)
+    {
+        XSER_ASSERT(way >= 0, msg("readWord miss in ", config_.name));
+        const size_t set = geometry_.setIndex(addr);
+        auto &line = meta_[set * config_.associativity + way];
+        line.lastUse = ++useCounter_;
+
+        const size_t index =
+            lineWordBase(set, way) + geometry_.wordOffset(addr);
+        ReadOutcome outcome = dataArray_.read(index);
+        // Clean outcomes post nothing (silent escapes are by definition
+        // invisible to EDAC), so the call is skipped for them.
+        if (outcome.status != ecc::CheckStatus::Clean)
+            postEdac(outcome);
+        return outcome;
+    }
 
     /**
      * Write the word at addr; the line must be present. Marks the line
      * dirty under write-back policy.
      */
-    void writeWord(Addr addr, uint64_t value);
+    void writeWord(Addr addr, uint64_t value)
+    {
+        writeWord(addr, value, findWay(addr));
+    }
+
+    /** As writeWord(addr, value), with the way already found. */
+    void
+    writeWord(Addr addr, uint64_t value, int way)
+    {
+        XSER_ASSERT(way >= 0, msg("writeWord miss in ", config_.name));
+        const size_t set = geometry_.setIndex(addr);
+        auto &line = meta_[set * config_.associativity + way];
+        line.lastUse = ++useCounter_;
+        if (config_.writePolicy == WritePolicy::WriteBack)
+            line.dirty = true;
+
+        const size_t index =
+            lineWordBase(set, way) + geometry_.wordOffset(addr);
+        dataArray_.write(index, value);
+    }
 
     /**
      * Checked read-out of the full line containing addr (for fills to an
@@ -114,7 +195,13 @@ class Cache
      * @param out Receives wordsPerLine() words.
      * @return true when any word raised an uncorrectable error.
      */
-    bool readLine(Addr addr, std::vector<uint64_t> &out);
+    bool readLine(Addr addr, std::vector<uint64_t> &out)
+    {
+        return readLine(addr, out, findWay(addr));
+    }
+
+    /** As readLine(addr, out), with the way already found. */
+    bool readLine(Addr addr, std::vector<uint64_t> &out, int way);
 
     /**
      * Install a line (write-allocate or fill).
@@ -129,6 +216,9 @@ class Cache
 
     /** Drop the line containing addr if present (no writeback). */
     void invalidate(Addr addr);
+
+    /** Drop the line at (addr, way) -- from findWay() -- unconditionally. */
+    void invalidateWay(Addr addr, int way);
 
     /** Drop every line (no writebacks); keeps injected-flip counters. */
     void invalidateAll();
@@ -169,15 +259,32 @@ class Cache
     /** Total SRAM bits of the data array (beam footprint). */
     uint64_t footprintBits() const { return dataArray_.totalBits(); }
 
+    /** True when no word of the data array deviates from its truth. */
+    bool arrayClean() const { return dataArray_.corruptWords() == 0; }
+
   private:
-    /** Way holding addr, or -1. */
-    int findWay(Addr addr) const;
+    /** Residency-filter bucket of the line containing addr. */
+    size_t
+    filterBucket(Addr addr) const
+    {
+        return static_cast<size_t>(
+            (geometry_.lineBase(addr) * 0x9e3779b97f4a7c15ULL) >>
+            (64 - filterBucketBits));
+    }
+
+    void filterAdd(Addr addr) { ++filter_[filterBucket(addr)]; }
+    void filterRemove(Addr addr) { --filter_[filterBucket(addr)]; }
 
     /** Victim way in addr's set (invalid way first, else LRU). */
     unsigned victimWay(size_t set) const;
 
     /** Base index of a line's words in the data array. */
-    size_t lineWordBase(size_t set, unsigned way) const;
+    size_t
+    lineWordBase(size_t set, unsigned way) const
+    {
+        return (set * config_.associativity + way) *
+               geometry_.wordsPerLine();
+    }
 
     /** Post an EDAC event matching a read outcome, if any. */
     void postEdac(const ReadOutcome &outcome);
@@ -201,6 +308,11 @@ class Cache
         uint64_t lastUse = 0;
     };
     std::vector<LineMeta> meta_;  ///< numSets * associativity entries
+
+    static constexpr unsigned filterBucketBits = 12;
+    /** Resident-line counts per hash bucket (see mayContain). */
+    std::vector<uint32_t> filter_;
+
     uint64_t useCounter_ = 0;
     CacheStats stats_;
 };

@@ -72,6 +72,9 @@ MemorySystem::MemorySystem(const MemorySystemConfig &config,
     l3.writePolicy = WritePolicy::WriteBack;
     l3.level = CacheLevel::L3;
     l3_ = std::make_unique<Cache>(l3, reporter_);
+
+    for (BeamTarget &target : beamTargets())
+        target.array->setFastPath(config_.fastPath);
 }
 
 void
@@ -193,18 +196,22 @@ MemorySystem::dramWordSlot(Addr addr)
 void
 MemorySystem::dramReadLine(Addr line_addr, std::vector<uint64_t> &out)
 {
+    // Lines never straddle pages (both are powers of two with
+    // lineBytes <= pageBytes), so one page lookup serves the whole line.
     const size_t words = config_.lineBytes / 8;
     out.resize(words);
+    const uint64_t *slot = dramWordSlot(line_addr);
     for (size_t i = 0; i < words; ++i)
-        out[i] = *dramWordSlot(line_addr + 8 * i);
+        out[i] = slot[i];
 }
 
 void
 MemorySystem::dramWriteLine(Addr line_addr,
                             const std::vector<uint64_t> &line)
 {
+    uint64_t *slot = dramWordSlot(line_addr);
     for (size_t i = 0; i < line.size(); ++i)
-        *dramWordSlot(line_addr + 8 * i) = line[i];
+        slot[i] = line[i];
 }
 
 void
@@ -214,14 +221,19 @@ MemorySystem::snoopOtherL2s(unsigned writing_pair, Addr line_addr)
         if (pair == writing_pair)
             continue;
         Cache &other = *l2_[pair];
-        if (!other.contains(line_addr))
+        // Residency-filter early-out: a zero bucket count proves the
+        // line absent, so the snoop is a no-op without a tag search.
+        if (config_.fastPath && !other.mayContain(line_addr))
             continue;
-        if (other.isDirty(line_addr)) {
+        const int way = other.findWay(line_addr);
+        if (way < 0)
+            continue;
+        if (other.wayDirty(line_addr, way)) {
             std::vector<uint64_t> line;
-            other.readLine(line_addr, line);
+            other.readLine(line_addr, line, way);
             writeLineToL3(line_addr, line);
         }
-        other.invalidate(line_addr);
+        other.invalidateWay(line_addr, way);
     }
 }
 
@@ -238,9 +250,10 @@ void
 MemorySystem::writeLineToL3(Addr line_addr,
                             const std::vector<uint64_t> &line)
 {
-    if (l3_->contains(line_addr)) {
+    const int way = l3_->findWay(line_addr);
+    if (way >= 0) {
         for (size_t i = 0; i < line.size(); ++i)
-            l3_->writeWord(line_addr + 8 * i, line[i]);
+            l3_->writeWord(line_addr + 8 * i, line[i], way);
         return;
     }
     installL3(line_addr, line, true);
@@ -250,7 +263,8 @@ void
 MemorySystem::readLineFromL3(Addr line_addr, std::vector<uint64_t> &out)
 {
     cycles_ += config_.l3HitCycles;
-    if (!l3_->contains(line_addr)) {
+    const int way = l3_->findWay(line_addr);
+    if (way < 0) {
         l3_->recordMiss();
         cycles_ += config_.dramCycles;
         dramReadLine(line_addr, out);
@@ -258,11 +272,11 @@ MemorySystem::readLineFromL3(Addr line_addr, std::vector<uint64_t> &out)
         return;
     }
     l3_->recordHit();
-    const bool uncorrectable = l3_->readLine(line_addr, out);
+    const bool uncorrectable = l3_->readLine(line_addr, out, way);
     if (uncorrectable) {
-        if (!l3_->isDirty(line_addr)) {
+        if (!l3_->wayDirty(line_addr, way)) {
             // Clean poisoned line: DRAM still has the truth.
-            l3_->invalidate(line_addr);
+            l3_->invalidateWay(line_addr, way);
             cycles_ += config_.dramCycles;
             dramReadLine(line_addr, out);
             installL3(line_addr, out, false);
@@ -296,7 +310,8 @@ MemorySystem::readLineFromL2(unsigned core, Addr line_addr,
     const unsigned pair = core / 2;
     Cache &cache = *l2_[pair];
     cycles_ += config_.l2HitCycles;
-    if (!cache.contains(line_addr)) {
+    const int way = cache.findWay(line_addr);
+    if (way < 0) {
         cache.recordMiss();
         // A sibling pair may hold a newer dirty copy; push it to L3
         // before reading the L3 level.
@@ -306,10 +321,10 @@ MemorySystem::readLineFromL2(unsigned core, Addr line_addr,
         return;
     }
     cache.recordHit();
-    const bool uncorrectable = cache.readLine(line_addr, out);
+    const bool uncorrectable = cache.readLine(line_addr, out, way);
     if (uncorrectable) {
-        if (!cache.isDirty(line_addr)) {
-            cache.invalidate(line_addr);
+        if (!cache.wayDirty(line_addr, way)) {
+            cache.invalidateWay(line_addr, way);
             readLineFromL3(line_addr, out);
             installL2(pair, line_addr, out, false);
         } else {
@@ -335,14 +350,15 @@ MemorySystem::readWord(unsigned core, Addr addr)
     const Addr line_addr = l1.geometry().lineBase(addr);
     const size_t offset = l1.geometry().wordOffset(addr);
 
-    if (l1.contains(addr)) {
+    const int way = l1.findWay(addr);
+    if (way >= 0) {
         l1.recordHit();
-        ReadOutcome outcome = l1.readWord(addr);
+        ReadOutcome outcome = l1.readWord(addr, way);
         if (outcome.status != ecc::CheckStatus::ParityError)
             return outcome.value;
         // Parity error: invalidate + refetch; write-through means the
         // level below is authoritative, so this is always recoverable.
-        l1.invalidate(addr);
+        l1.invalidateWay(addr, way);
         reporter_->post(now_ ? *now_ : 0, CacheLevel::L1,
                         EdacKind::Corrected, l1.name());
         ++delivery_.parityRefetches;
@@ -365,27 +381,38 @@ MemorySystem::writeWord(unsigned core, Addr addr, uint64_t value)
     Cache &l1 = *l1d_[core];
     const Addr line_addr = l1.geometry().lineBase(addr);
 
-    if (l1.contains(addr))
-        l1.writeWord(addr, value);
+    const int l1_way = l1.findWay(addr);
+    if (l1_way >= 0)
+        l1.writeWord(addr, value, l1_way);
 
-    // Write-invalidate coherence over the other cores' L1Ds.
+    // Write-invalidate coherence over the other cores' L1Ds. The
+    // residency filter turns the common no-sharer case into one load
+    // per core instead of a tag search.
     for (unsigned other = 0; other < l1d_.size(); ++other) {
-        if (other != core && l1d_[other]->contains(addr))
-            l1d_[other]->invalidate(addr);
+        if (other == core)
+            continue;
+        Cache &other_l1 = *l1d_[other];
+        if (config_.fastPath && !other_l1.mayContain(addr))
+            continue;
+        const int other_way = other_l1.findWay(addr);
+        if (other_way >= 0)
+            other_l1.invalidateWay(addr, other_way);
     }
 
     // Write-through into the (write-back, write-allocate) L2.
     const unsigned pair = core / 2;
     snoopOtherL2s(pair, line_addr);
     Cache &cache = *l2_[pair];
-    if (!cache.contains(addr)) {
+    int l2_way = cache.findWay(addr);
+    if (l2_way < 0) {
         cache.recordMiss();
         readLineFromL3(line_addr, lineScratch_);
         installL2(pair, line_addr, lineScratch_, false);
+        l2_way = cache.findWay(addr);
     } else {
         cache.recordHit();
     }
-    cache.writeWord(addr, value);
+    cache.writeWord(addr, value, l2_way);
 }
 
 void
@@ -405,24 +432,39 @@ MemorySystem::touchTlb(unsigned core, size_t word_index)
 void
 MemorySystem::scrub(size_t l2_lines, size_t l3_lines)
 {
+    // Patrolling a fully clean array is observably a no-op (clean-line
+    // scrubs touch nothing, see Cache::scrubLine), so when every array
+    // of a level is clean the round-robin cursor can jump arithmetically
+    // instead of walking line by line.
     const size_t l2_total = l2_.empty() ? 0
         : l2_[0]->geometry().numLines();
-    for (size_t step = 0; step < l2_lines && l2_total > 0; ++step) {
-        const size_t index = l2ScrubCursor_;
-        l2ScrubCursor_ = (l2ScrubCursor_ + 1) % l2_total;
-        for (auto &cache : l2_) {
-            Cache::ScrubResult result = cache->scrubLine(index);
-            if (result.uncorrectable && result.dirty)
-                writeLineToL3(result.address, result.data);
+    bool l2_all_clean = config_.fastPath;
+    for (auto &cache : l2_)
+        l2_all_clean = l2_all_clean && cache->arrayClean();
+    if (l2_all_clean && l2_total > 0) {
+        l2ScrubCursor_ = (l2ScrubCursor_ + l2_lines) % l2_total;
+    } else {
+        for (size_t step = 0; step < l2_lines && l2_total > 0; ++step) {
+            const size_t index = l2ScrubCursor_;
+            l2ScrubCursor_ = (l2ScrubCursor_ + 1) % l2_total;
+            for (auto &cache : l2_) {
+                Cache::ScrubResult result = cache->scrubLine(index);
+                if (result.uncorrectable && result.dirty)
+                    writeLineToL3(result.address, result.data);
+            }
         }
     }
     const size_t l3_total = l3_->geometry().numLines();
-    for (size_t step = 0; step < l3_lines && l3_total > 0; ++step) {
-        const size_t index = l3ScrubCursor_;
-        l3ScrubCursor_ = (l3ScrubCursor_ + 1) % l3_total;
-        Cache::ScrubResult result = l3_->scrubLine(index);
-        if (result.uncorrectable && result.dirty)
-            dramWriteLine(result.address, result.data);
+    if (config_.fastPath && l3_->arrayClean() && l3_total > 0) {
+        l3ScrubCursor_ = (l3ScrubCursor_ + l3_lines) % l3_total;
+    } else {
+        for (size_t step = 0; step < l3_lines && l3_total > 0; ++step) {
+            const size_t index = l3ScrubCursor_;
+            l3ScrubCursor_ = (l3ScrubCursor_ + 1) % l3_total;
+            Cache::ScrubResult result = l3_->scrubLine(index);
+            if (result.uncorrectable && result.dirty)
+                dramWriteLine(result.address, result.data);
+        }
     }
 }
 

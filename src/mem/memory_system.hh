@@ -53,6 +53,14 @@ struct MemorySystemConfig {
     Protection l1Protection = Protection::Parity;
     Protection l2Protection = Protection::Secded;
     Protection l3Protection = Protection::Secded;
+    /**
+     * Event-driven fast paths (clean-read short-circuit in every SRAM
+     * array, clean-line and clean-array patrol-scrub skips). Observably
+     * identical to the reference paths -- gated by the differential
+     * tests -- and on by default; campaigns flip it off only to prove
+     * equivalence.
+     */
+    bool fastPath = true;
 };
 
 /** One beam-targetable SRAM array with its level attribution. */

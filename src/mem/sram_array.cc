@@ -54,26 +54,48 @@ SramArray::SramArray(std::string name, size_t words, Protection protection)
         const uint8_t zero_check = ecc::SecdedCodec::encode(0);
         std::fill(check_.begin(), check_.end(), zero_check);
     }
+    shadowCheck_ = check_;
+    corrupt_.assign(words, 0);
+    checkStale_.assign(words, 0);
 }
 
 void
-SramArray::write(size_t index, uint64_t value)
+SramArray::materializeCheck(size_t index)
 {
-    XSER_ASSERT(index < data_.size(), "SRAM write out of range");
-    if (isCorrupted(index))
-        ++counters_.overwrittenFlips;
-    data_[index] = value;
-    shadow_[index] = value;
+    if (!checkStale_[index])
+        return;
+    checkStale_[index] = 0;
+    // Stale implies no flip or repair since the last write (both
+    // materialize first), so the stored word still equals the truth and
+    // one encode serves for both the stored and the shadow check bits.
+    uint8_t bits = 0;
     switch (protection_) {
       case Protection::None:
-        check_[index] = 0;
         break;
       case Protection::Parity:
-        check_[index] = ecc::ParityCodec::encode(value);
+        bits = ecc::ParityCodec::encode(shadow_[index]);
         break;
       case Protection::Secded:
-        check_[index] = ecc::SecdedCodec::encode(value);
+        bits = ecc::SecdedCodec::encode(shadow_[index]);
         break;
+    }
+    check_[index] = bits;
+    shadowCheck_[index] = bits;
+}
+
+void
+SramArray::refreshCorrupt(size_t index)
+{
+    const uint8_t now_corrupt = (data_[index] != shadow_[index] ||
+                                 check_[index] != shadowCheck_[index])
+                                    ? 1
+                                    : 0;
+    if (now_corrupt != corrupt_[index]) {
+        corrupt_[index] = now_corrupt;
+        if (now_corrupt)
+            ++corruptCount_;
+        else
+            --corruptCount_;
     }
 }
 
@@ -86,7 +108,7 @@ SramArray::emit(trace::EventType type, size_t index, uint32_t bit,
 }
 
 ReadOutcome
-SramArray::read(size_t index)
+SramArray::readChecked(size_t index)
 {
     XSER_ASSERT(index < data_.size(), "SRAM read out of range");
     switch (protection_) {
@@ -113,6 +135,7 @@ SramArray::read(size_t index)
 ReadOutcome
 SramArray::readParity(size_t index)
 {
+    materializeCheck(index);
     ReadOutcome outcome;
     outcome.value = data_[index];
     outcome.status = ecc::ParityCodec::check(data_[index], check_[index]);
@@ -137,6 +160,7 @@ SramArray::readParity(size_t index)
 ReadOutcome
 SramArray::readSecded(size_t index)
 {
+    materializeCheck(index);
     ReadOutcome outcome;
     const auto result = ecc::SecdedCodec::decode(data_[index],
                                                  check_[index]);
@@ -173,6 +197,7 @@ SramArray::readSecded(size_t index)
         // Scrub the correction back into the array, as hardware does.
         data_[index] = result.data;
         check_[index] = result.check;
+        refreshCorrupt(index);  // exact repair cleans; miscorrect stays
         ++counters_.corrected;
         if (result.data != shadow_[index]) {
             // The decoder repaired the wrong bit: a >= 3-flip alias. The
@@ -217,15 +242,17 @@ bool
 SramArray::isCorrupted(size_t index) const
 {
     XSER_ASSERT(index < data_.size(), "SRAM index out of range");
-    if (data_[index] != shadow_[index])
-        return true;
-    switch (protection_) {
-      case Protection::None:
-        return false;
-      case Protection::Parity:
-        return check_[index] != ecc::ParityCodec::encode(shadow_[index]);
-      case Protection::Secded:
-        return check_[index] != ecc::SecdedCodec::encode(shadow_[index]);
+    return corrupt_[index] != 0;
+}
+
+bool
+SramArray::anyCorruptInRange(size_t base, size_t count) const
+{
+    XSER_ASSERT(base + count <= data_.size(),
+                "SRAM corruption scan out of range");
+    for (size_t i = 0; i < count; ++i) {
+        if (corrupt_[base + i])
+            return true;
     }
     return false;
 }
@@ -235,10 +262,12 @@ SramArray::flipBit(size_t index, unsigned stored_bit)
 {
     XSER_ASSERT(index < data_.size(), "SRAM flip out of range");
     XSER_ASSERT(stored_bit < bitsPerWord_, "stored bit out of range");
+    materializeCheck(index);
     if (stored_bit < 64)
         data_[index] ^= 1ULL << stored_bit;
     else
         check_[index] ^= static_cast<uint8_t>(1u << (stored_bit - 64));
+    refreshCorrupt(index);
     ++counters_.bitFlipsInjected;
 }
 
@@ -251,6 +280,10 @@ SramArray::reset()
     if (protection_ == Protection::Secded)
         zero_check = ecc::SecdedCodec::encode(0);
     std::fill(check_.begin(), check_.end(), zero_check);
+    std::fill(shadowCheck_.begin(), shadowCheck_.end(), zero_check);
+    std::fill(corrupt_.begin(), corrupt_.end(), 0);
+    std::fill(checkStale_.begin(), checkStale_.end(), 0);
+    corruptCount_ = 0;
     counters_ = SramCounters{};
 }
 

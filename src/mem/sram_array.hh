@@ -24,6 +24,7 @@
 
 #include "ecc/ecc_types.hh"
 #include "ecc/secded.hh"
+#include "sim/logging.hh"
 #include "sim/sim_clock.hh"
 #include "trace/trace_sink.hh"
 
@@ -90,11 +91,29 @@ class SramArray
     }
 
     /**
-     * Write a word: stores data, regenerates check bits, refreshes the
-     * shadow truth. Pending flips in the word are silently destroyed
-     * (counted as overwritten), mirroring real hardware.
+     * Write a word: stores data, refreshes the shadow truth, and marks
+     * the check bits for lazy regeneration (see materializeCheck).
+     * Pending flips in the word are silently destroyed (counted as
+     * overwritten), mirroring real hardware.
      */
-    void write(size_t index, uint64_t value);
+    void
+    write(size_t index, uint64_t value)
+    {
+        XSER_ASSERT(index < data_.size(), "SRAM write out of range");
+        if (corrupt_[index]) {
+            ++counters_.overwrittenFlips;
+            corrupt_[index] = 0;
+            --corruptCount_;
+        }
+        data_[index] = value;
+        shadow_[index] = value;
+        // Check bits are derived lazily: a freshly written word is
+        // clean by construction, and encode() is deterministic, so
+        // deferring it to the first flip or checked read that actually
+        // consumes the check bits yields the same stored values --
+        // just not paid per write.
+        checkStale_[index] = 1;
+    }
 
     /**
      * Checked read: verifies protection, corrects in place where the
@@ -102,7 +121,17 @@ class SramArray
      * additionally carries ground-truth flags the campaign uses for
      * Section 6.2 style analysis.
      */
-    ReadOutcome read(size_t index);
+    ReadOutcome
+    read(size_t index)
+    {
+        if (fastPath_ && !corrupt_[index]) {
+            // Clean word: every codec verdicts Clean on a word matching
+            // its truth, delivers the stored data unchanged, and updates
+            // no counter and no trace -- short-circuit all of it.
+            return {data_[index], ecc::CheckStatus::Clean, false};
+        }
+        return readChecked(index);
+    }
 
     /** Raw stored bits without any checking (debug/test aid). */
     uint64_t peek(size_t index) const;
@@ -112,6 +141,23 @@ class SramArray
 
     /** True when the stored word (incl. check bits) deviates from truth. */
     bool isCorrupted(size_t index) const;
+
+    /** Number of words currently deviating from truth. */
+    size_t corruptWords() const { return corruptCount_; }
+
+    /** True when any word in [base, base + count) deviates from truth. */
+    bool anyCorruptInRange(size_t base, size_t count) const;
+
+    /**
+     * Enable/disable the clean-read fast path. With it on, a read of an
+     * uncorrupted word short-circuits past the codec: by the corruption
+     * invariant the codec would verdict Clean, deliver the stored data
+     * unchanged, touch no counters, and emit no trace -- so the
+     * shortcut is observably identical (differential-tested). Off forces
+     * every read through the full codec (the reference path).
+     */
+    void setFastPath(bool enabled) { fastPath_ = enabled; }
+    bool fastPath() const { return fastPath_; }
 
     /**
      * Flip one stored bit.
@@ -155,6 +201,9 @@ class SramArray
     Tick now() const { return now_ ? *now_ : 0; }
 
   private:
+    /** Full-codec read path behind read()'s clean-word short-circuit. */
+    ReadOutcome readChecked(size_t index);
+
     ReadOutcome readParity(size_t index);
     ReadOutcome readSecded(size_t index);
 
@@ -162,12 +211,44 @@ class SramArray
     void emit(trace::EventType type, size_t index, uint32_t bit,
               uint64_t aux);
 
+    /**
+     * Re-derive corrupt_[index] after data_/check_ changed underneath
+     * the shadow (a beam flip or an in-place correction), keeping
+     * corruptCount_ in step. O(1): the check bits of the truth are
+     * cached in shadowCheck_, so no re-encode is needed.
+     */
+    void refreshCorrupt(size_t index);
+
+    /**
+     * Derive check_[index]/shadowCheck_[index] for a word whose last
+     * write deferred the encode. Every consumer of the check bits
+     * (checked reads, flips) calls this first; while a word is stale it
+     * is clean by construction, so laziness is value-preserving.
+     */
+    void materializeCheck(size_t index);
+
     std::string name_;
     Protection protection_;
     unsigned bitsPerWord_;
     std::vector<uint64_t> data_;    ///< stored (possibly corrupt) data
     std::vector<uint8_t> check_;    ///< stored check bits
     std::vector<uint64_t> shadow_;  ///< ground-truth data
+    std::vector<uint8_t> shadowCheck_;  ///< check bits of the truth
+    /**
+     * Exact per-word corruption flags, the invariant behind every fast
+     * path: corrupt_[i] != 0 iff data_[i] != shadow_[i] or check_[i] !=
+     * shadowCheck_[i]. Maintained on write, flip, repair, and reset;
+     * never approximate (a flip pair that cancels clears the flag).
+     */
+    std::vector<uint8_t> corrupt_;
+    /**
+     * 1 = the word was written but its check bits not yet derived
+     * (check_/shadowCheck_ still hold the previous value's bits, equal
+     * to each other). Cleared by materializeCheck() and reset().
+     */
+    std::vector<uint8_t> checkStale_;
+    size_t corruptCount_ = 0;
+    bool fastPath_ = true;
     SramCounters counters_;
     trace::TraceSink *traceSink_ = nullptr;
     uint32_t traceId_ = trace::noArray;

@@ -1,13 +1,42 @@
 /**
  * @file
  * BeamSource implementation.
+ *
+ * Equivalence contract (see DESIGN.md section 8): the skip-ahead fast
+ * path and the per-interval reference path must inject bit-identical
+ * upset sequences. Three rules enforce that here:
+ *
+ *  1. The RNG is touched only when an arrival fires (cluster, word,
+ *     bit, next Exp(1) budget) -- never per interval. An interval with
+ *     no arrivals consumes no randomness in either mode.
+ *  2. Arrival decisions compare absolute dose coordinates with the
+ *     exact same floating-point expression in both modes:
+ *     baseDose + rate * toSeconds(now - baseTick). The base is only
+ *     rebased at rate changes, which happen at the same simulated
+ *     times in both modes, so the operand values are identical.
+ *  3. The skip-ahead horizon is *conservative*: it may trigger a
+ *     settle a little early (harmless, drains nothing, draws nothing)
+ *     but never past a due arrival's quantum.
  */
 
 #include "rad/beam_source.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace xser::rad {
+
+namespace {
+
+/**
+ * Cap on how far ahead one skip can reach. Keeps fromSeconds() far
+ * from Tick overflow for near-zero rates; an idle settle every 1e6
+ * simulated seconds costs nothing.
+ */
+constexpr double maxSkipSeconds = 1.0e6;
+
+} // namespace
 
 BeamSource::BeamSource(const BeamConfig &config,
                        const CrossSectionModel *xsection,
@@ -22,6 +51,14 @@ BeamSource::BeamSource(const BeamConfig &config,
         fatal("beam time scale must be positive");
     if (targets_.empty())
         fatal("beam needs at least one target array");
+    rate_.resize(targets_.size());
+    baseDose_.assign(targets_.size(), 0.0);
+    nextArrivalDose_.resize(targets_.size());
+    refreshRates();
+    // Every target's first arrival budget, in target order.
+    for (size_t i = 0; i < targets_.size(); ++i)
+        nextArrivalDose_[i] = rng_.nextExponential(1.0);
+    scheduleNextSettle();
 }
 
 void
@@ -29,8 +66,11 @@ BeamSource::setVoltages(double pmd_volts, double soc_volts)
 {
     if (pmd_volts <= 0.0 || soc_volts <= 0.0)
         fatal("domain voltages must be positive");
+    settle();
     pmdVolts_ = pmd_volts;
     socVolts_ = soc_volts;
+    refreshRates();
+    scheduleNextSettle();
 }
 
 void
@@ -38,7 +78,10 @@ BeamSource::setTimeScale(double time_scale)
 {
     if (time_scale <= 0.0)
         fatal("beam time scale must be positive");
+    settle();
     config_.timeScale = time_scale;
+    refreshRates();
+    scheduleNextSettle();
 }
 
 double
@@ -72,6 +115,72 @@ BeamSource::expectedEventRatePerSecond() const
                 effectiveFlux();
     }
     return rate;
+}
+
+double
+BeamSource::doseAt(size_t i, Tick tick) const
+{
+    return baseDose_[i] + rate_[i] * ticks::toSeconds(tick - baseTick_);
+}
+
+void
+BeamSource::refreshRates()
+{
+    // Fold dose earned under the outgoing rates into the base before
+    // re-sloping; outstanding Exp(1) budgets carry over unchanged.
+    for (size_t i = 0; i < targets_.size(); ++i)
+        baseDose_[i] = doseAt(i, nowTick_);
+    baseTick_ = nowTick_;
+    const double flux = effectiveFlux();
+    for (size_t i = 0; i < targets_.size(); ++i) {
+        const auto &target = targets_[i];
+        rate_[i] = static_cast<double>(target.array->totalBits()) *
+                   xsection_->bitCrossSection(target.level,
+                                              voltsFor(target)) *
+                   flux;
+    }
+}
+
+void
+BeamSource::scheduleNextSettle()
+{
+    Tick best = nowTick_ + ticks::fromSeconds(maxSkipSeconds);
+    for (size_t i = 0; i < targets_.size(); ++i) {
+        if (rate_[i] <= 0.0)
+            continue;
+        const double dt =
+            (nextArrivalDose_[i] - baseDose_[i]) / rate_[i];
+        if (dt <= 0.0) {
+            best = nowTick_;
+            break;
+        }
+        Tick dt_ticks =
+            ticks::fromSeconds(std::min(dt, maxSkipSeconds));
+        // Safety margin: undershoot by ~1ppm plus a fixed slack, orders
+        // of magnitude beyond the conversion's floating-point error, so
+        // the horizon can never land past a due arrival.
+        dt_ticks -= std::min(dt_ticks, dt_ticks / 1048576 + 64);
+        best = std::min(best, baseTick_ + dt_ticks);
+    }
+    nextSettleTick_ = best;
+}
+
+void
+BeamSource::settle()
+{
+    const double window = ticks::toSeconds(nowTick_ - baseTick_);
+    for (size_t i = 0; i < targets_.size(); ++i) {
+        const double dose_now = baseDose_[i] + rate_[i] * window;
+        if (nextArrivalDose_[i] > dose_now)
+            continue;
+        const mem::BeamTarget &target = targets_[i];
+        const double delta_v = deltaVFor(target);
+        do {
+            ++eventsPerLevel_[static_cast<size_t>(target.level)];
+            injectEvent(target, delta_v);
+            nextArrivalDose_[i] += rng_.nextExponential(1.0);
+        } while (nextArrivalDose_[i] <= dose_now);
+    }
 }
 
 void
@@ -113,24 +222,13 @@ BeamSource::advance(Tick elapsed)
 {
     if (elapsed == 0)
         return;
-    const double seconds = ticks::toSeconds(elapsed);
-    const double flux = effectiveFlux();
-    fluence_ += flux * seconds;
-
-    for (const auto &target : targets_) {
-        const double volts = voltsFor(target);
-        const double mean =
-            static_cast<double>(target.array->totalBits()) *
-            xsection_->bitCrossSection(target.level, volts) * flux *
-            seconds;
-        const uint64_t events = rng_.nextPoisson(mean);
-        if (events == 0)
-            continue;
-        eventsPerLevel_[static_cast<size_t>(target.level)] += events;
-        const double delta_v = deltaVFor(target);
-        for (uint64_t i = 0; i < events; ++i)
-            injectEvent(target, delta_v);
-    }
+    nowTick_ += elapsed;
+    fluence_ += effectiveFlux() * ticks::toSeconds(elapsed);
+    if (config_.skipAhead && nowTick_ < nextSettleTick_)
+        return;
+    settle();
+    if (config_.skipAhead)
+        scheduleNextSettle();
 }
 
 uint64_t
@@ -151,6 +249,8 @@ BeamSource::upsetEvents(mem::CacheLevel level) const
 void
 BeamSource::clearCounters()
 {
+    // Counters only: the arrival process itself is memoryless, so the
+    // outstanding budgets stay valid across session phase boundaries.
     fluence_ = 0.0;
     eventsPerLevel_ = {};
 }

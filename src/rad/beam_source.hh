@@ -12,6 +12,18 @@
  * All reported rates are per fluence, where the acceleration cancels
  * exactly; time-based rates are quoted in paper-equivalent minutes
  * (fluence / halo-flux).
+ *
+ * Sampling is event-driven: every target owns an absolute *dose*
+ * coordinate (expected events accumulated since construction) and the
+ * next arrival sits at dose D_next = D_prev + Exp(1). Because a
+ * homogeneous Poisson process subjected to the time-change theorem is a
+ * unit-rate process in dose space, this is exact for piecewise-constant
+ * rates: voltage or time-scale changes re-slope the dose integrator but
+ * never invalidate the outstanding Exp(1) budgets. The skip-ahead fast
+ * path (BeamConfig::skipAhead) only adds an O(1) early-out to advance()
+ * when no arrival can be due yet; the arrival decisions themselves are
+ * evaluated with the identical floating-point expression in both modes,
+ * so fast and reference paths emit bit-identical upset sequences.
  */
 
 #ifndef XSER_RAD_BEAM_SOURCE_HH
@@ -35,6 +47,15 @@ struct BeamConfig {
     FluxEnvironment environment = tnfBeamHalo();
     double timeScale = 1.0;  ///< extra acceleration (see file comment)
     uint64_t seed = 0xbea3ULL;
+    /**
+     * Skip-ahead fast path: advance() returns in O(1) whenever the
+     * conservatively scheduled next-arrival tick has not been reached,
+     * instead of settling the dose integrator every interval. Off =
+     * the per-interval reference path used by the differential tests.
+     * Both modes consume the RNG identically and inject bit-identical
+     * upsets; only the amount of bookkeeping per quantum differs.
+     */
+    bool skipAhead = true;
     /**
      * Column interleaving per cache level: interleaved arrays spread a
      * physical MBU cluster across logical words; non-interleaved arrays
@@ -99,6 +120,23 @@ class BeamSource
     /** Supply voltage seen by a target. */
     double voltsFor(const mem::BeamTarget &target) const;
 
+    /** Dose (expected events) of target i at an absolute tick. */
+    double doseAt(size_t i, Tick tick) const;
+
+    /** Drain every arrival due at or before nowTick_, in target order. */
+    void settle();
+
+    /**
+     * Re-slope the dose integrator after a rate change: fold the dose
+     * accumulated under the old rates into the base coordinates, then
+     * recompute per-target rates at the current voltages/time scale.
+     * Callers must settle() first so no old-rate arrival is pending.
+     */
+    void refreshRates();
+
+    /** Recompute the conservative skip-ahead horizon nextSettleTick_. */
+    void scheduleNextSettle();
+
     BeamConfig config_;
     const CrossSectionModel *xsection_;
     const MbuModel *mbu_;
@@ -108,6 +146,13 @@ class BeamSource
     double socVolts_ = 0.950;
     double fluence_ = 0.0;
     std::array<uint64_t, mem::numCacheLevels> eventsPerLevel_{};
+
+    Tick nowTick_ = 0;   ///< beam-relative simulated time
+    Tick baseTick_ = 0;  ///< tick of the last rate change
+    Tick nextSettleTick_ = 0;  ///< skip-ahead horizon (conservative)
+    std::vector<double> rate_;      ///< events/s per target (cached)
+    std::vector<double> baseDose_;  ///< dose at baseTick_ per target
+    std::vector<double> nextArrivalDose_;  ///< absolute arrival coords
 };
 
 } // namespace xser::rad

@@ -11,17 +11,6 @@
 
 namespace xser {
 
-namespace {
-
-/** Rotate left helper for xoshiro. */
-inline uint64_t
-rotl(uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
-} // namespace
-
 uint64_t
 SplitMix64::next()
 {
@@ -48,52 +37,6 @@ Rng::fork(const std::string &tag) const
     // parent's construction seed and the sequence of fork calls.
     uint64_t mixed = state_[0] ^ rotl(state_[2], 17) ^ hashString(tag);
     return Rng(mixed);
-}
-
-uint64_t
-Rng::nextU64()
-{
-    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
-    const uint64_t t = state_[1] << 17;
-
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
-
-    return result;
-}
-
-double
-Rng::nextDouble()
-{
-    // 53 top bits -> double in [0, 1).
-    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
-}
-
-uint64_t
-Rng::nextBounded(uint64_t bound)
-{
-    XSER_ASSERT(bound > 0, "nextBounded requires a positive bound");
-    // Rejection sampling over the largest multiple of bound.
-    const uint64_t threshold = (0 - bound) % bound;
-    for (;;) {
-        uint64_t value = nextU64();
-        if (value >= threshold)
-            return value % bound;
-    }
-}
-
-bool
-Rng::nextBool(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return nextDouble() < p;
 }
 
 double

@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/logging.hh"
+
 namespace xser {
 
 /**
@@ -58,19 +60,57 @@ class Rng
     Rng fork(const std::string &tag) const;
 
     /** Uniform 64-bit value. */
-    uint64_t nextU64();
+    uint64_t
+    nextU64()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+
+        return result;
+    }
 
     /** Uniform 32-bit value. */
     uint32_t nextU32() { return static_cast<uint32_t>(nextU64() >> 32); }
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double
+    nextDouble()
+    {
+        // 53 top bits -> double in [0, 1).
+        return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+    }
 
     /** Uniform integer in [0, bound) with rejection to avoid modulo bias. */
-    uint64_t nextBounded(uint64_t bound);
+    uint64_t
+    nextBounded(uint64_t bound)
+    {
+        XSER_ASSERT(bound > 0, "nextBounded requires a positive bound");
+        // Rejection sampling over the largest multiple of bound.
+        const uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            uint64_t value = nextU64();
+            if (value >= threshold)
+                return value % bound;
+        }
+    }
 
     /** Bernoulli draw with success probability p (clamped to [0, 1]). */
-    bool nextBool(double p);
+    bool
+    nextBool(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return nextDouble() < p;
+    }
 
     /** Standard normal via Box-Muller (cached second variate). */
     double nextGaussian();
@@ -92,6 +132,13 @@ class Rng
     std::array<uint64_t, 4> state() const { return state_; }
 
   private:
+    /** Rotate left helper for xoshiro. */
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::array<uint64_t, 4> state_;
     double cachedGaussian_ = 0.0;
     bool hasCachedGaussian_ = false;

@@ -38,8 +38,11 @@ SignatureBuilder::finish() const
 uint64_t
 Workload::datasetValue(size_t index) const
 {
-    SplitMix64 mixer(hashString(traits().name) ^
-                     (0x9e3779b97f4a7c15ULL * (index + 1)));
+    if (!nameHashValid_) {
+        nameHash_ = hashString(traits().name);
+        nameHashValid_ = true;
+    }
+    SplitMix64 mixer(nameHash_ ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
     return mixer.next();
 }
 

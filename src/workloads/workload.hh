@@ -115,6 +115,9 @@ class Workload
 
     SimArray<uint64_t> dataset_;
     size_t windowCursor_ = 0;  ///< rotating line cursor
+    /** Cached hashString(traits().name), derived on first use. */
+    mutable uint64_t nameHash_ = 0;
+    mutable bool nameHashValid_ = false;
 };
 
 /**

@@ -7,10 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <bit>
 #include <vector>
 
 #include "ecc/parity.hh"
 #include "ecc/secded.hh"
+#include "ecc/swar.hh"
 #include "sim/rng.hh"
 
 namespace xser::ecc {
@@ -240,6 +243,283 @@ TEST(Secded, CodewordStorageMappingIsBijective)
     }
     EXPECT_EQ(data_seen, 64);
     EXPECT_EQ(check_seen, 8);
+}
+
+/* ----------------- Differential: SWAR vs reference ---------------- */
+/*
+ * The production codecs reduce parities word-parallel (popcount /
+ * XOR-fold, see src/ecc/swar.hh). The implementations below are the
+ * bit-serial reference semantics -- one explicit loop iteration per
+ * codeword bit, derived from the extended-Hamming definition and not
+ * from the production tables -- and the tests prove the two agree over
+ * every single-bit flip and randomized multi-bit flips, classification
+ * included. This is the equivalence gate that lets the hot path use
+ * the SWAR forms (DESIGN.md section 8).
+ */
+
+/** Bit-serial parity: XOR over the 64 bits, one at a time. */
+int
+parityReference(uint64_t value)
+{
+    int parity = 0;
+    for (int bit = 0; bit < 64; ++bit)
+        parity ^= static_cast<int>((value >> bit) & 1);
+    return parity;
+}
+
+/** Bit-serial parity over a stored 72-bit codeword. */
+int
+parity72Reference(uint64_t data, uint8_t check)
+{
+    int parity = parityReference(data);
+    for (int bit = 0; bit < 8; ++bit)
+        parity ^= (check >> bit) & 1;
+    return parity;
+}
+
+/**
+ * Bit-serial SECDED encoder from the extended-Hamming definition:
+ * data bits fill the non-power-of-two positions 1..71 in ascending
+ * order; check bit i is the XOR of every position with bit i set in
+ * its index; the eighth bit makes the whole stored word even.
+ */
+uint8_t
+secdedEncodeReference(uint64_t data)
+{
+    std::array<int, 72> codeword{};
+    int data_bit = 0;
+    for (int position = 1; position <= 71; ++position) {
+        if ((position & (position - 1)) == 0)
+            continue;  // power-of-two slots hold check bits
+        codeword[position] =
+            static_cast<int>((data >> data_bit) & 1);
+        ++data_bit;
+    }
+    uint8_t check = 0;
+    for (int i = 0; i < 7; ++i) {
+        int parity = 0;
+        for (int position = 1; position <= 71; ++position) {
+            if (position & (1 << i))
+                parity ^= codeword[position];
+        }
+        check |= static_cast<uint8_t>(parity << i);
+    }
+    check |= static_cast<uint8_t>(parity72Reference(data, check) << 7);
+    return check;
+}
+
+/** Bit-serial syndrome over a stored word (data + Hamming check bits). */
+uint8_t
+secdedSyndromeReference(uint64_t data, uint8_t check)
+{
+    std::array<int, 72> codeword{};
+    int data_bit = 0;
+    for (int position = 1; position <= 71; ++position) {
+        if ((position & (position - 1)) == 0) {
+            const int check_index = std::countr_zero(
+                static_cast<unsigned>(position));
+            codeword[position] = (check >> check_index) & 1;
+            continue;
+        }
+        codeword[position] = static_cast<int>((data >> data_bit) & 1);
+        ++data_bit;
+    }
+    uint8_t syndrome = 0;
+    for (int i = 0; i < 7; ++i) {
+        int parity = 0;
+        for (int position = 1; position <= 71; ++position) {
+            if (position & (1 << i))
+                parity ^= codeword[position];
+        }
+        syndrome |= static_cast<uint8_t>(parity << i);
+    }
+    return syndrome;
+}
+
+/**
+ * Bit-serial reference decoder: the published extended-Hamming decision
+ * table applied to the bit-serial syndrome and parity reductions.
+ */
+SecdedResult
+secdedDecodeReference(uint64_t data, uint8_t check)
+{
+    SecdedResult result;
+    result.data = data;
+    result.check = check;
+    result.correctedBit = -1;
+    const uint8_t syndrome = secdedSyndromeReference(data, check);
+    const bool overall_odd = parity72Reference(data, check) != 0;
+    result.syndrome = syndrome;
+
+    if (!overall_odd) {
+        result.status = syndrome == 0 ? CheckStatus::Clean
+                                      : CheckStatus::DetectedDouble;
+        return result;
+    }
+    if (syndrome == 0) {
+        result.check = static_cast<uint8_t>(check ^ 0x80u);
+        result.status = CheckStatus::CorrectedSingle;
+        result.correctedBit = 0;
+        return result;
+    }
+    if (syndrome > 71) {
+        result.status = CheckStatus::DetectedDouble;
+        return result;
+    }
+    int data_bit = -1;
+    int check_bit = -1;
+    if (SecdedCodec::codewordIndexToStorage(syndrome, data_bit,
+                                            check_bit))
+        result.data = data ^ (1ULL << data_bit);
+    else
+        result.check = static_cast<uint8_t>(check ^ (1u << check_bit));
+    result.status = CheckStatus::CorrectedSingle;
+    result.correctedBit = syndrome;
+    return result;
+}
+
+/** Detect/correct/miscorrect classification against a known truth. */
+enum class Classification { Clean, Corrected, Detected, Miscorrected,
+                            SilentEscape };
+
+Classification
+classify(const SecdedResult &result, uint64_t truth)
+{
+    switch (result.status) {
+      case CheckStatus::Clean:
+        return result.data == truth ? Classification::Clean
+                                    : Classification::SilentEscape;
+      case CheckStatus::CorrectedSingle:
+        return result.data == truth ? Classification::Corrected
+                                    : Classification::Miscorrected;
+      case CheckStatus::DetectedDouble:
+        return Classification::Detected;
+      default:
+        ADD_FAILURE() << "unexpected decode status";
+        return Classification::Detected;
+    }
+}
+
+TEST(SwarDifferential, ParityKernelsMatchBitLoop)
+{
+    Rng rng(0x5a5aULL);
+    for (uint64_t value : patterns()) {
+        for (int trial = 0; trial < 80; ++trial) {
+            EXPECT_EQ(swar::parity64(value), parityReference(value));
+            EXPECT_EQ(swar::parityFold64(value), parityReference(value));
+            EXPECT_EQ(static_cast<int>(ParityCodec::parityOf(value)),
+                      parityReference(value));
+            value = rng.nextU64();
+        }
+    }
+}
+
+TEST(SwarDifferential, Parity72MatchesBitLoop)
+{
+    Rng rng(0x7272ULL);
+    for (int trial = 0; trial < 500; ++trial) {
+        const uint64_t data = rng.nextU64();
+        const uint8_t check = static_cast<uint8_t>(rng.nextBounded(256));
+        EXPECT_EQ(swar::parity72(data, check),
+                  parity72Reference(data, check));
+    }
+}
+
+TEST(ParityDifferential, AllSingleFlipsMatchReference)
+{
+    for (uint64_t value : patterns()) {
+        const uint8_t parity = ParityCodec::encode(value);
+        EXPECT_EQ(static_cast<int>(parity), parityReference(value));
+        for (int bit = 0; bit < 64; ++bit) {
+            const uint64_t corrupted = value ^ (1ULL << bit);
+            const bool odd_total =
+                parity72Reference(corrupted, parity) != 0;
+            EXPECT_EQ(ParityCodec::check(corrupted, parity),
+                      odd_total ? CheckStatus::ParityError
+                                : CheckStatus::Clean);
+        }
+    }
+}
+
+TEST(ParityDifferential, RandomizedMultiBitFlipsMatchReference)
+{
+    Rng rng(0xd1ffULL);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const uint64_t value = rng.nextU64();
+        const uint8_t parity = ParityCodec::encode(value);
+        uint64_t corrupted = value;
+        uint8_t stored = parity;
+        const int flips = 1 + static_cast<int>(rng.nextBounded(8));
+        for (int i = 0; i < flips; ++i) {
+            const int bit = static_cast<int>(rng.nextBounded(65));
+            if (bit < 64)
+                corrupted ^= 1ULL << bit;
+            else
+                stored ^= 1;
+        }
+        // The stored parity bit participates in the total-parity sum:
+        // the word reads clean iff the whole 65-bit footprint is even.
+        const bool odd_total =
+            parityReference(corrupted) != (stored & 1);
+        EXPECT_EQ(ParityCodec::check(corrupted, stored),
+                  odd_total ? CheckStatus::ParityError
+                            : CheckStatus::Clean);
+    }
+}
+
+TEST(SecdedDifferential, EncodeMatchesReference)
+{
+    Rng rng(0xe2c0deULL);
+    for (uint64_t value : patterns())
+        EXPECT_EQ(SecdedCodec::encode(value),
+                  secdedEncodeReference(value));
+    for (int trial = 0; trial < 2000; ++trial) {
+        const uint64_t value = rng.nextU64();
+        EXPECT_EQ(SecdedCodec::encode(value),
+                  secdedEncodeReference(value));
+    }
+}
+
+TEST(SecdedDifferential, AllSingleFlipsDecodeIdentically)
+{
+    for (uint64_t value : patterns()) {
+        for (int codeword_bit = 0; codeword_bit < 72; ++codeword_bit) {
+            uint64_t data = value;
+            uint8_t check = SecdedCodec::encode(value);
+            flipCodewordBit(data, check, codeword_bit);
+            const SecdedResult fast = SecdedCodec::decode(data, check);
+            const SecdedResult ref = secdedDecodeReference(data, check);
+            EXPECT_EQ(fast.status, ref.status) << "bit " << codeword_bit;
+            EXPECT_EQ(fast.data, ref.data) << "bit " << codeword_bit;
+            EXPECT_EQ(fast.check, ref.check) << "bit " << codeword_bit;
+            EXPECT_EQ(fast.syndrome, ref.syndrome)
+                << "bit " << codeword_bit;
+            EXPECT_EQ(classify(fast, value), classify(ref, value));
+        }
+    }
+}
+
+TEST(SecdedDifferential, RandomizedMultiBitFlipsDecodeIdentically)
+{
+    // Detect / correct / miscorrect / silent classification must match
+    // the bit-serial reference exactly, across 1..6 simultaneous flips.
+    Rng rng(0x3a1edULL);
+    for (int trial = 0; trial < 4000; ++trial) {
+        const uint64_t value = rng.nextU64();
+        uint64_t data = value;
+        uint8_t check = SecdedCodec::encode(value);
+        const int flips = 1 + static_cast<int>(rng.nextBounded(6));
+        for (int i = 0; i < flips; ++i) {
+            flipCodewordBit(data, check,
+                            static_cast<int>(rng.nextBounded(72)));
+        }
+        const SecdedResult fast = SecdedCodec::decode(data, check);
+        const SecdedResult ref = secdedDecodeReference(data, check);
+        ASSERT_EQ(fast.status, ref.status) << "trial " << trial;
+        ASSERT_EQ(fast.data, ref.data) << "trial " << trial;
+        ASSERT_EQ(fast.check, ref.check) << "trial " << trial;
+        ASSERT_EQ(classify(fast, value), classify(ref, value));
+    }
 }
 
 TEST(EccTypes, ReportingHelpers)

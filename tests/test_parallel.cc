@@ -125,6 +125,28 @@ TEST_F(ParallelDeterminism, SingleWorkerMatchesSequentialBeamCampaign)
     expectCampaignsBitIdentical(expected, reference_->replicates[0]);
 }
 
+TEST_F(ParallelDeterminism, FastPathOffBitIdentical)
+{
+    // The event-driven fast path (skip-ahead beam sampling, clean-word
+    // read short-circuit, residency-filtered snoops) is default-on; the
+    // golden gate for its equivalence contract is that disabling all of
+    // it reproduces the reference sweep bit-for-bit.
+    CampaignConfig config = tinyCampaign();
+    setFastPath(config, false);
+    ParallelRunConfig run;
+    run.jobs = 1;
+    run.replicates = 2;
+    ParallelCampaignRunner runner(config, run);
+    const ReplicatedCampaignResult sweep = runner.executeAll();
+    ASSERT_EQ(sweep.replicates.size(), 2u);
+    for (size_t r = 0; r < sweep.replicates.size(); ++r)
+        expectCampaignsBitIdentical(reference_->replicates[r],
+                                    sweep.replicates[r]);
+    for (size_t s = 0; s < sweep.sessions.size(); ++s)
+        expectAggregatesBitIdentical(reference_->sessions[s],
+                                     sweep.sessions[s]);
+}
+
 TEST_F(ParallelDeterminism, TwoWorkersBitIdentical)
 {
     ParallelRunConfig run;

@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "mem/memory_system.hh"
@@ -288,6 +290,190 @@ TEST(BeamSource, NonInterleavedL3TakesClustersInOneWord)
         ASSERT_GT(beam.upsetEvents(), 10u);
     }
     EXPECT_LE(max_flips_in_word(l1_like), 1);
+}
+
+/* ----------------------- Skip-ahead equivalence ------------------ */
+
+/** Per-target injection counters, for step-by-step beam comparison. */
+std::vector<std::pair<uint64_t, uint64_t>>
+injectionSnapshot(mem::MemorySystem &memory)
+{
+    std::vector<std::pair<uint64_t, uint64_t>> snapshot;
+    for (const auto &target : memory.beamTargets()) {
+        snapshot.emplace_back(target.array->counters().upsetEventsInjected,
+                              target.array->counters().bitFlipsInjected);
+    }
+    return snapshot;
+}
+
+/**
+ * The tentpole equivalence contract: a skip-ahead beam must inject the
+ * same upsets into the same words at the same advance steps as the
+ * quantum-by-quantum reference, across voltages, accelerations, seeds,
+ * and mid-run operating-point changes (DESIGN.md section 8).
+ */
+TEST(BeamSourceEquivalence, SkipAheadMatchesReferenceOnGrid)
+{
+    struct Point {
+        double pmd;
+        double soc;
+    };
+    const Point points[] = {{0.980, 0.950}, {0.920, 0.920},
+                            {0.790, 0.950}};
+    const double time_scales[] = {1e5, 1e6};
+    const uint64_t seeds[] = {7, 5150};
+
+    // Irregular advance pattern: sub-microsecond pokes, medium quanta,
+    // and long stretches the fast path can leap over in one step.
+    const double step_seconds[] = {1e-7, 0.003, 0.25, 1e-6, 1.0, 0.02,
+                                   2.5,  1e-7,  0.4,  0.75};
+
+    for (const Point &point : points) {
+        for (double time_scale : time_scales) {
+            for (uint64_t seed : seeds) {
+                mem::EdacReporter reporter_fast;
+                mem::MemorySystem memory_fast(tinyConfig(),
+                                              &reporter_fast);
+                mem::EdacReporter reporter_ref;
+                mem::MemorySystem memory_ref(tinyConfig(), &reporter_ref);
+
+                CrossSectionModel xsection;
+                MbuModel mbu;
+                BeamConfig config;
+                config.timeScale = time_scale;
+                config.seed = seed;
+
+                config.skipAhead = true;
+                BeamSource fast(config, &xsection, &mbu,
+                                memory_fast.beamTargets());
+                config.skipAhead = false;
+                BeamSource reference(config, &xsection, &mbu,
+                                     memory_ref.beamTargets());
+
+                fast.setVoltages(point.pmd, point.soc);
+                reference.setVoltages(point.pmd, point.soc);
+
+                int step = 0;
+                auto drive = [&](double seconds) {
+                    const Tick elapsed = ticks::fromSeconds(seconds);
+                    fast.advance(elapsed);
+                    reference.advance(elapsed);
+                    ASSERT_EQ(fast.upsetEvents(), reference.upsetEvents())
+                        << "step " << step;
+                    ASSERT_EQ(fast.fluence(), reference.fluence())
+                        << "step " << step;
+                    ASSERT_EQ(injectionSnapshot(memory_fast),
+                              injectionSnapshot(memory_ref))
+                        << "step " << step;
+                    ++step;
+                };
+
+                for (double seconds : step_seconds)
+                    drive(seconds);
+                // Mid-run rate changes: both the per-level cross
+                // sections (voltage) and the global acceleration must
+                // re-slope the dose integrator without perturbing the
+                // outstanding arrival budgets.
+                fast.setVoltages(0.930, 0.925);
+                reference.setVoltages(0.930, 0.925);
+                for (double seconds : step_seconds)
+                    drive(seconds * 1.7);
+                fast.setTimeScale(time_scale * 3.0);
+                reference.setTimeScale(time_scale * 3.0);
+                for (double seconds : step_seconds)
+                    drive(seconds);
+
+                // Bit-exact storage: every flip landed in the same word
+                // of the same array, including check bits (visible as
+                // corruption flags).
+                const auto targets_fast = memory_fast.beamTargets();
+                const auto targets_ref = memory_ref.beamTargets();
+                ASSERT_EQ(targets_fast.size(), targets_ref.size());
+                ASSERT_GT(fast.upsetEvents(), 0u)
+                    << "grid cell exercised no upsets; tighten the "
+                       "pattern or acceleration";
+                for (size_t t = 0; t < targets_fast.size(); ++t) {
+                    const mem::SramArray &a = *targets_fast[t].array;
+                    const mem::SramArray &b = *targets_ref[t].array;
+                    for (size_t w = 0; w < a.words(); ++w) {
+                        ASSERT_EQ(a.peek(w), b.peek(w));
+                        ASSERT_EQ(a.isCorrupted(w), b.isCorrupted(w));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Distributional soundness of the dose-space sampler: with constant
+ * rates, observed inter-arrival times must be exponential with the
+ * beam's own expected event rate. Ten equal-probability bins,
+ * chi-square threshold 27.877 = critical value at alpha = 0.001 with
+ * df = 9 (fixed seed, so no flakiness).
+ */
+TEST(BeamSourceEquivalence, InterArrivalDistributionIsExponential)
+{
+    CrossSectionModel xsection;
+    MbuModel mbu;
+    mem::SramArray array("dist", 64 * 1024, mem::Protection::Secded);
+    std::vector<mem::BeamTarget> targets = {
+        {&array, mem::CacheLevel::L3, false}};
+
+    BeamConfig config;
+    config.timeScale = 1e6;
+    config.seed = 424243;
+    BeamSource beam(config, &xsection, &mbu, targets);
+    beam.setVoltages(0.920, 0.920);
+
+    const double rate = beam.expectedEventRatePerSecond();
+    ASSERT_GT(rate, 0.0);
+    // Quanta short enough that discretizing arrival times to quantum
+    // boundaries shifts each sample by well under a bin width.
+    const double dt = 0.005 / rate;
+    const Tick quantum = ticks::fromSeconds(dt);
+    const size_t target_arrivals = 2000;
+
+    std::vector<double> inter_arrivals;
+    uint64_t seen = 0;
+    double previous_arrival = 0.0;
+    double now = 0.0;
+    while (inter_arrivals.size() < target_arrivals) {
+        beam.advance(quantum);
+        now += dt;
+        const uint64_t total = beam.upsetEvents();
+        while (seen < total) {
+            inter_arrivals.push_back(now - previous_arrival);
+            previous_arrival = now;
+            ++seen;
+        }
+    }
+
+    // Equal-probability exponential bins: t_k = -ln(1 - k/10) / rate.
+    constexpr int num_bins = 10;
+    std::array<int, num_bins> observed{};
+    for (double sample : inter_arrivals) {
+        int bin = num_bins - 1;
+        for (int k = 1; k < num_bins; ++k) {
+            const double upper =
+                -std::log(1.0 - static_cast<double>(k) / num_bins) / rate;
+            if (sample < upper) {
+                bin = k - 1;
+                break;
+            }
+        }
+        ++observed[static_cast<size_t>(bin)];
+    }
+
+    const double expected = static_cast<double>(inter_arrivals.size()) /
+                            num_bins;
+    double chi_square = 0.0;
+    for (int count : observed) {
+        const double delta = static_cast<double>(count) - expected;
+        chi_square += delta * delta / expected;
+    }
+    EXPECT_LT(chi_square, 27.877)
+        << "inter-arrival histogram is not exponential";
 }
 
 /* ----------------------- RawSerExtrapolation --------------------- */
