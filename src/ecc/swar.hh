@@ -2,10 +2,11 @@
  * @file
  * Word-parallel (SWAR) bit kernels shared by the protection codecs.
  *
- * The semantics are defined by the bit-serial reference loops kept in
- * tests/test_ecc.cc: parity64(v) is the XOR over the 64 individual bits
- * of v, and syndrome/encode reductions are XORs over per-bit masked
- * contributions. Here each reduction collapses to one hardware popcount
+ * The semantics are defined by the bit-serial reference loops below
+ * (parity64Reference / parity72Reference) and, for the SECDED codec,
+ * in tests/test_ecc.cc: parity64(v) is the XOR over the 64 individual
+ * bits of v, and syndrome/encode reductions are XORs over per-bit
+ * masked contributions. Here each reduction collapses to one hardware popcount
  * (or an XOR shift-fold where popcount would need the carry dropped),
  * which is what keeps the codecs off the campaign's critical path --
  * every cache fill, writeback, and patrol scan decodes eight words.
@@ -36,6 +37,33 @@ inline int
 parity72(uint64_t data, uint8_t check)
 {
     return (std::popcount(data) + std::popcount(check)) & 1;
+}
+
+/**
+ * Bit-serial reference for parity64: one explicit loop iteration per
+ * bit, derived from the parity definition rather than from the
+ * popcount identity. Kept beside the fast kernel so the pairing is
+ * machine-checkable (xser-lint rule fastpath-parity); the differential
+ * tests in tests/test_ecc.cc prove the two agree over every single-bit
+ * flip and randomized multi-bit flips.
+ */
+inline int
+parity64Reference(uint64_t value)
+{
+    int parity = 0;
+    for (int bit = 0; bit < 64; ++bit)
+        parity ^= static_cast<int>((value >> bit) & 1);
+    return parity;
+}
+
+/** Bit-serial reference for parity72 (64 data + 8 check bits). */
+inline int
+parity72Reference(uint64_t data, uint8_t check)
+{
+    int parity = parity64Reference(data);
+    for (int bit = 0; bit < 8; ++bit)
+        parity ^= (check >> bit) & 1;
+    return parity;
 }
 
 /**

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Text (de)serialization for the incremental scan cache. Records are
+ * line-oriented with fixed leading fields and any free text (messages)
+ * last, so parsing needs no escaping; paths, rule ids, and identifiers
+ * in this tree never contain spaces.
+ */
+
+#include <sstream>
+
+#include "lint/cache.hh"
+
+namespace xser::lint {
+
+namespace {
+
+const char *kMagic = "xser-lint-cache";
+constexpr int kVersion = 2;
+
+int
+ruleSetKey(RuleSet rules)
+{
+    switch (rules) {
+    case RuleSet::Classic:
+        return 0;
+    case RuleSet::Semantic:
+        return 1;
+    case RuleSet::All:
+        return 2;
+    }
+    return 2;
+}
+
+/** Rest of the stream after one leading space, may itself be empty. */
+std::string
+restOfLine(std::istringstream &words)
+{
+    std::string rest;
+    std::getline(words, rest);
+    if (!rest.empty() && rest.front() == ' ')
+        rest.erase(rest.begin());
+    return rest;
+}
+
+} // namespace
+
+ScanCache
+ScanCache::parse(const std::string &text, RuleSet rules)
+{
+    ScanCache cache;
+    std::istringstream lines(text);
+    std::string line;
+    if (!std::getline(lines, line))
+        return cache;
+    {
+        std::istringstream header(line);
+        std::string magic;
+        int version = 0, key = -1;
+        header >> magic >> version >> key;
+        if (magic != kMagic || version != kVersion ||
+            key != ruleSetKey(rules))
+            return cache;
+    }
+    std::string current_path;
+    CacheEntry current;
+    auto flush = [&]() {
+        if (!current_path.empty())
+            cache.entries_.emplace(current_path, std::move(current));
+        current = CacheEntry{};
+    };
+    while (std::getline(lines, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream words(line);
+        std::string tag;
+        words >> tag;
+        if (tag == "F") {
+            flush();
+            words >> current.hash >> current_path;
+            current.facts.path = current_path;
+            if (words.fail() || current_path.empty())
+                return ScanCache{}; // corrupt: discard everything
+        } else if (tag == "I") {
+            IncludeFact fact;
+            int quoted = 0;
+            words >> fact.line >> quoted >> fact.target;
+            fact.quoted = quoted != 0;
+            current.facts.includes.push_back(fact);
+        } else if (tag == "R") {
+            ReferenceFact fact;
+            int base = 0;
+            words >> fact.line >> base >> fact.name;
+            fact.basePresent = base != 0;
+            current.facts.references.push_back(fact);
+        } else if (tag == "C") {
+            CaseFact fact;
+            words >> fact.switchIndex >> fact.line >> fact.name;
+            current.facts.eventCases.push_back(fact);
+        } else if (tag == "E") {
+            EnumeratorFact fact;
+            words >> fact.line >> fact.value >> fact.name;
+            current.facts.eventEnum.push_back(fact);
+        } else if (tag == "N") {
+            words >> current.facts.numEventTypes >>
+                current.facts.numEventTypesLine;
+        } else if (tag == "D") {
+            Diagnostic diag;
+            diag.file = current_path;
+            words >> diag.line >> diag.rule >> diag.token;
+            diag.message = restOfLine(words);
+            current.diags.push_back(std::move(diag));
+        } else {
+            return ScanCache{}; // unknown record: discard everything
+        }
+        if (words.fail())
+            return ScanCache{};
+    }
+    flush();
+    return cache;
+}
+
+const CacheEntry *
+ScanCache::lookup(const std::string &path, uint64_t hash) const
+{
+    const auto it = entries_.find(path);
+    if (it == entries_.end() || it->second.hash != hash)
+        return nullptr;
+    return &it->second;
+}
+
+void
+ScanCache::store(const std::string &path, CacheEntry entry)
+{
+    entries_[path] = std::move(entry);
+}
+
+std::string
+ScanCache::serialize(RuleSet rules) const
+{
+    std::ostringstream out;
+    out << kMagic << ' ' << kVersion << ' ' << ruleSetKey(rules) << '\n';
+    for (const auto &[path, entry] : entries_) {
+        out << "F " << entry.hash << ' ' << path << '\n';
+        for (const IncludeFact &fact : entry.facts.includes)
+            out << "I " << fact.line << ' ' << (fact.quoted ? 1 : 0)
+                << ' ' << fact.target << '\n';
+        for (const ReferenceFact &fact : entry.facts.references)
+            out << "R " << fact.line << ' '
+                << (fact.basePresent ? 1 : 0) << ' ' << fact.name
+                << '\n';
+        for (const CaseFact &fact : entry.facts.eventCases)
+            out << "C " << fact.switchIndex << ' ' << fact.line << ' '
+                << fact.name << '\n';
+        for (const EnumeratorFact &fact : entry.facts.eventEnum)
+            out << "E " << fact.line << ' ' << fact.value << ' '
+                << fact.name << '\n';
+        if (entry.facts.numEventTypes >= 0)
+            out << "N " << entry.facts.numEventTypes << ' '
+                << entry.facts.numEventTypesLine << '\n';
+        for (const Diagnostic &diag : entry.diags)
+            out << "D " << diag.line << ' ' << diag.rule << ' '
+                << diag.token << ' ' << diag.message << '\n';
+    }
+    return out.str();
+}
+
+} // namespace xser::lint

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Incremental scan cache. Per-file diagnostics and cross-TU facts are
+ * keyed by an FNV-1a hash of the file's content, so an unchanged file
+ * costs one hash instead of a tokenize + analyze pass. The cache is a
+ * plain text file, versioned and keyed by the active rule set; any
+ * mismatch silently invalidates it (a lint cache must never be able to
+ * hide a finding).
+ */
+
+#ifndef XSER_TOOLS_LINT_CACHE_HH
+#define XSER_TOOLS_LINT_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/facts.hh"
+#include "lint/lint.hh"
+
+namespace xser::lint {
+
+/** Cached result of analyzing one file at one content hash. */
+struct CacheEntry
+{
+    uint64_t hash = 0;
+    std::vector<Diagnostic> diags;
+    FileFacts facts;
+};
+
+/** File-backed cache keyed by repo-relative path. */
+class ScanCache
+{
+  public:
+    /** Parse cache text; anything malformed yields an empty cache. */
+    static ScanCache parse(const std::string &text, RuleSet rules);
+
+    /** Entry for `path` at `hash`, or nullptr on miss. */
+    const CacheEntry *lookup(const std::string &path,
+                             uint64_t hash) const;
+
+    /** Record a fresh analysis result. */
+    void store(const std::string &path, CacheEntry entry);
+
+    /** Serialize for writing back to disk. */
+    std::string serialize(RuleSet rules) const;
+
+  private:
+    std::map<std::string, CacheEntry> entries_;
+};
+
+} // namespace xser::lint
+
+#endif // XSER_TOOLS_LINT_CACHE_HH

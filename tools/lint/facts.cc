@@ -1,0 +1,481 @@
+/**
+ * @file
+ * Fact extraction and whole-tree semantic rules: include-graph
+ * layering, trace-schema sync, fast-path parity.
+ */
+
+#include "lint/facts.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+
+#include "lint/token.hh"
+
+namespace xser::lint {
+
+namespace {
+
+bool
+startsWith(const std::string &text, const std::string &prefix)
+{
+    return text.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+/** Base name of a reference implementation, or "" when not one. */
+std::string
+referenceBase(const std::string &name)
+{
+    for (const char *suffix : {"_reference", "Reference"}) {
+        if (endsWith(name, suffix) && name.size() > strlen(suffix))
+            return name.substr(0, name.size() - strlen(suffix));
+    }
+    return "";
+}
+
+/** Parse `#include` target out of a normalized directive body. */
+bool
+parseIncludeTarget(const std::string &directive, std::string &target,
+                   bool &quoted)
+{
+    std::string squeezed;
+    for (char c : directive)
+        if (c != ' ')
+            squeezed.push_back(c);
+    if (!startsWith(squeezed, "include"))
+        return false;
+    const std::string rest = squeezed.substr(7);
+    if (rest.size() >= 2 && rest.front() == '"') {
+        const size_t close = rest.find('"', 1);
+        if (close == std::string::npos)
+            return false;
+        target = rest.substr(1, close - 1);
+        quoted = true;
+        return true;
+    }
+    if (rest.size() >= 2 && rest.front() == '<') {
+        const size_t close = rest.find('>', 1);
+        if (close == std::string::npos)
+            return false;
+        target = rest.substr(1, close - 1);
+        quoted = false;
+        return true;
+    }
+    return false;
+}
+
+/** The layer DAG: higher ranks may include lower, never the reverse. */
+const std::map<std::string, int> &
+layerRanks()
+{
+    static const std::map<std::string, int> ranks{
+        {"sim", 0},   {"stats", 1},     {"trace", 1}, {"ecc", 1},
+        {"volt", 1},  {"mem", 2},       {"workloads", 3},
+        {"rad", 3},   {"cpu", 3},       {"inject", 4}, {"core", 5},
+        {"cli", 6},
+    };
+    return ranks;
+}
+
+/** Layer directory of a src path ("src/mem/cache.hh" -> "mem"). */
+std::string
+layerOf(const std::string &path)
+{
+    if (!startsWith(path, "src/"))
+        return "";
+    const size_t slash = path.find('/', 4);
+    if (slash == std::string::npos)
+        return "";
+    return path.substr(4, slash - 4);
+}
+
+} // namespace
+
+FileFacts
+extractFacts(const std::string &rel_path, const std::string &content)
+{
+    FileFacts facts;
+    facts.path = rel_path;
+    const std::vector<Token> tokens = tokenize(content);
+
+    std::set<std::string> identifiers;
+    for (const Token &token : tokens)
+        if (token.kind == Kind::Identifier)
+            identifiers.insert(token.text);
+
+    std::set<std::string> reference_seen;
+    int switch_count = 0;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+        const Token &token = tokens[i];
+        if (token.kind == Kind::Directive) {
+            IncludeFact include;
+            if (parseIncludeTarget(token.text, include.target,
+                                   include.quoted)) {
+                include.line = token.line;
+                facts.includes.push_back(std::move(include));
+            }
+            continue;
+        }
+        if (token.kind != Kind::Identifier)
+            continue;
+        if (token.text == "switch") {
+            ++switch_count;
+            continue;
+        }
+        // numEventTypes = <N>
+        if (token.text == "numEventTypes" && i + 2 < tokens.size() &&
+            tokens[i + 1].kind == Kind::Punct &&
+            tokens[i + 1].text == "=" &&
+            tokens[i + 2].kind == Kind::Number &&
+            facts.numEventTypes < 0) {
+            facts.numEventTypes =
+                std::strtol(tokens[i + 2].text.c_str(), nullptr, 0);
+            facts.numEventTypesLine = token.line;
+            continue;
+        }
+        // case [ns ::]* EventType :: Name :
+        if (token.text == "case") {
+            size_t j = i + 1;
+            bool saw_event_type = false;
+            std::string last;
+            int last_line = token.line;
+            while (j + 1 < tokens.size() &&
+                   tokens[j].kind == Kind::Identifier &&
+                   tokens[j + 1].kind == Kind::Punct &&
+                   tokens[j + 1].text == "::") {
+                if (tokens[j].text == "EventType")
+                    saw_event_type = true;
+                j += 2;
+            }
+            if (saw_event_type && j < tokens.size() &&
+                tokens[j].kind == Kind::Identifier) {
+                last = tokens[j].text;
+                last_line = tokens[j].line;
+                facts.eventCases.push_back(
+                    {switch_count, last_line, last});
+            }
+            continue;
+        }
+        // enum class EventType [: type] { A = 0, B, ... };
+        if (token.text == "enum" && facts.eventEnum.empty()) {
+            size_t j = i + 1;
+            if (j < tokens.size() && tokens[j].kind == Kind::Identifier &&
+                (tokens[j].text == "class" || tokens[j].text == "struct"))
+                ++j;
+            if (j >= tokens.size() ||
+                tokens[j].kind != Kind::Identifier ||
+                tokens[j].text != "EventType")
+                continue;
+            ++j;
+            while (j < tokens.size() &&
+                   !(tokens[j].kind == Kind::Punct &&
+                     (tokens[j].text == "{" || tokens[j].text == ";")))
+                ++j;
+            if (j >= tokens.size() || tokens[j].text == ";")
+                continue; // forward declaration
+            ++j;
+            long next_value = 0;
+            while (j < tokens.size() &&
+                   !(tokens[j].kind == Kind::Punct &&
+                     tokens[j].text == "}")) {
+                if (tokens[j].kind == Kind::Identifier) {
+                    EnumeratorFact enumerator;
+                    enumerator.line = tokens[j].line;
+                    enumerator.name = tokens[j].text;
+                    if (j + 2 < tokens.size() &&
+                        tokens[j + 1].kind == Kind::Punct &&
+                        tokens[j + 1].text == "=" &&
+                        tokens[j + 2].kind == Kind::Number) {
+                        next_value = std::strtol(
+                            tokens[j + 2].text.c_str(), nullptr, 0);
+                        j += 2;
+                    }
+                    enumerator.value = next_value++;
+                    facts.eventEnum.push_back(std::move(enumerator));
+                    // Skip to the comma or closing brace.
+                    while (j < tokens.size() &&
+                           !(tokens[j].kind == Kind::Punct &&
+                             (tokens[j].text == "," ||
+                              tokens[j].text == "}")))
+                        ++j;
+                    if (j < tokens.size() && tokens[j].text == ",")
+                        ++j;
+                    continue;
+                }
+                ++j;
+            }
+            continue;
+        }
+        const std::string base = referenceBase(token.text);
+        if (!base.empty() && reference_seen.insert(token.text).second) {
+            facts.references.push_back(
+                {token.line, token.text, identifiers.count(base) > 0});
+        }
+    }
+    return facts;
+}
+
+int
+layerRank(const std::string &path)
+{
+    const std::string layer = layerOf(path);
+    const auto it = layerRanks().find(layer);
+    return it == layerRanks().end() ? -1 : it->second;
+}
+
+std::vector<std::vector<std::string>>
+findCycles(const Graph &graph)
+{
+    // Iterative DFS with a gray (on-stack) set; every back edge closes
+    // one elementary cycle which is canonicalized and deduplicated.
+    std::vector<std::vector<std::string>> cycles;
+    std::set<std::string> done;
+    std::set<std::vector<std::string>> seen;
+
+    for (const auto &[start, unused] : graph) {
+        (void)unused;
+        if (done.count(start))
+            continue;
+        // Frame: node plus index of the next edge to explore.
+        std::vector<std::pair<std::string, size_t>> stack;
+        std::vector<std::string> path;
+        std::set<std::string> gray;
+        stack.push_back({start, 0});
+        path.push_back(start);
+        gray.insert(start);
+        while (!stack.empty()) {
+            auto &[node, edge] = stack.back();
+            const auto it = graph.find(node);
+            const auto &targets =
+                it == graph.end() ? std::vector<std::string>{}
+                                  : it->second;
+            if (edge >= targets.size()) {
+                done.insert(node);
+                gray.erase(node);
+                path.pop_back();
+                stack.pop_back();
+                continue;
+            }
+            const std::string target = targets[edge++];
+            if (gray.count(target)) {
+                // Back edge: the cycle is the path suffix from target.
+                auto begin = std::find(path.begin(), path.end(), target);
+                std::vector<std::string> cycle(begin, path.end());
+                const auto smallest =
+                    std::min_element(cycle.begin(), cycle.end());
+                std::rotate(cycle.begin(), smallest, cycle.end());
+                if (seen.insert(cycle).second)
+                    cycles.push_back(std::move(cycle));
+                continue;
+            }
+            if (done.count(target))
+                continue;
+            stack.push_back({target, 0});
+            path.push_back(target);
+            gray.insert(target);
+        }
+    }
+    return cycles;
+}
+
+std::vector<Diagnostic>
+checkLayering(const std::vector<FileFacts> &facts)
+{
+    std::vector<Diagnostic> diags;
+    Graph graph;
+    for (const FileFacts &file : facts) {
+        const int from_rank = layerRank(file.path);
+        if (from_rank < 0)
+            continue;
+        const std::string from_layer = layerOf(file.path);
+        for (const IncludeFact &include : file.includes) {
+            if (!include.quoted)
+                continue;
+            const std::string target = "src/" + include.target;
+            const int to_rank = layerRank(target);
+            if (to_rank < 0)
+                continue; // not a layered repo header
+            graph[file.path].push_back(target);
+            const std::string to_layer = layerOf(target);
+            if (to_layer == from_layer || to_rank < from_rank)
+                continue;
+            diags.push_back(
+                {file.path, include.line, "layering", include.target,
+                 "include chain " + file.path + " -> src/" +
+                     include.target + " goes " +
+                     (to_rank > from_rank ? "up" : "across") +
+                     " the layer DAG (" + from_layer + " may only "
+                     "include layers below it; " + to_layer +
+                     " is not)"});
+        }
+    }
+    for (const std::vector<std::string> &cycle : findCycles(graph)) {
+        std::string chain;
+        for (const std::string &node : cycle)
+            chain += node + " -> ";
+        chain += cycle.front();
+        diags.push_back(
+            {cycle.front(), 1, "layering", "cycle",
+             "include cycle: " + chain + " (headers in a cycle cannot "
+             "define a layer order; break the cycle with a forward "
+             "declaration or an interface header)"});
+    }
+    return diags;
+}
+
+std::vector<Diagnostic>
+checkTraceSchemaSync(const std::vector<FileFacts> &facts)
+{
+    std::vector<Diagnostic> diags;
+    const FileFacts *enum_file = nullptr;
+    for (const FileFacts &file : facts) {
+        if (file.eventEnum.empty())
+            continue;
+        if (enum_file != nullptr) {
+            diags.push_back(
+                {file.path, file.eventEnum.front().line,
+                 "trace-schema-sync", "EventType",
+                 "EventType is defined in both " + enum_file->path +
+                     " and " + file.path +
+                     "; the trace schema needs one source of truth"});
+            continue;
+        }
+        enum_file = &file;
+    }
+    if (enum_file == nullptr)
+        return diags; // schema not in this tree; rule is silent
+
+    std::set<std::string> enum_names;
+    std::set<long> enum_values;
+    for (const EnumeratorFact &enumerator : enum_file->eventEnum) {
+        if (!enum_names.insert(enumerator.name).second)
+            diags.push_back({enum_file->path, enumerator.line,
+                             "trace-schema-sync", enumerator.name,
+                             "duplicate EventType enumerator '" +
+                                 enumerator.name + "'"});
+        if (!enum_values.insert(enumerator.value).second ||
+            enumerator.value < 0 ||
+            enumerator.value >=
+                static_cast<long>(enum_file->eventEnum.size()))
+            diags.push_back(
+                {enum_file->path, enumerator.line, "trace-schema-sync",
+                 enumerator.name,
+                 "EventType enumerator '" + enumerator.name +
+                     "' breaks the dense 0..N-1 encoding the varint "
+                     "writer/reader and per-type count tables rely on"});
+    }
+
+    // numEventTypes must live beside the enum and match its size.
+    const long count = static_cast<long>(enum_file->eventEnum.size());
+    for (const FileFacts &file : facts) {
+        if (file.numEventTypes < 0)
+            continue;
+        if (file.numEventTypes != count)
+            diags.push_back(
+                {file.path, file.numEventTypesLine, "trace-schema-sync",
+                 "numEventTypes",
+                 "numEventTypes = " +
+                     std::to_string(file.numEventTypes) + " but "
+                     "EventType has " + std::to_string(count) +
+                     " enumerators; the writer, reader, and xser-trace "
+                     "tables iterate numEventTypes and would silently "
+                     "miss the new event"});
+    }
+
+    // Every switch over EventType must cover the full event set.
+    for (const FileFacts &file : facts) {
+        std::map<int, std::vector<const CaseFact *>> switches;
+        for (const CaseFact &label : file.eventCases)
+            switches[label.switchIndex].push_back(&label);
+        for (const auto &[index, labels] : switches) {
+            (void)index;
+            std::set<std::string> covered;
+            for (const CaseFact *label : labels) {
+                covered.insert(label->name);
+                if (!enum_names.count(label->name))
+                    diags.push_back(
+                        {file.path, label->line, "trace-schema-sync",
+                         label->name,
+                         "case EventType::" + label->name +
+                             " names an enumerator the schema in " +
+                             enum_file->path + " does not define"});
+            }
+            for (const std::string &name : enum_names) {
+                if (covered.count(name))
+                    continue;
+                diags.push_back(
+                    {file.path, labels.front()->line,
+                     "trace-schema-sync", name,
+                     "switch over EventType does not handle "
+                     "EventType::" + name + "; every consumer of the "
+                     "event set must cover the whole schema so a new "
+                     "event is a compile-visible change, not a runtime "
+                     "surprise"});
+            }
+        }
+    }
+    return diags;
+}
+
+std::vector<Diagnostic>
+checkFastpathParity(const std::vector<FileFacts> &facts,
+                    const std::vector<FileFacts> &test_facts)
+{
+    std::set<std::string> tested;
+    for (const FileFacts &file : test_facts)
+        for (const ReferenceFact &reference : file.references)
+            tested.insert(reference.name);
+
+    struct Occurrence
+    {
+        std::string file;
+        int line = 0;
+        bool base_present = false;
+    };
+    std::map<std::string, Occurrence> by_name;
+    for (const FileFacts &file : facts) {
+        if (!startsWith(file.path, "src/"))
+            continue;
+        for (const ReferenceFact &reference : file.references) {
+            auto [it, inserted] = by_name.try_emplace(
+                reference.name,
+                Occurrence{file.path, reference.line,
+                           reference.basePresent});
+            if (!inserted && reference.basePresent)
+                it->second.base_present = true;
+        }
+    }
+
+    std::vector<Diagnostic> diags;
+    for (const auto &[name, occurrence] : by_name) {
+        const std::string base = referenceBase(name);
+        if (!occurrence.base_present)
+            diags.push_back(
+                {occurrence.file, occurrence.line, "fastpath-parity",
+                 name,
+                 "reference implementation '" + name + "' has no "
+                 "matching fast implementation '" + base + "' beside "
+                 "it; the *_reference convention promises a fast twin "
+                 "whose equivalence the differential tests prove"});
+        if (!tested.count(name))
+            diags.push_back(
+                {occurrence.file, occurrence.line, "fastpath-parity",
+                 name,
+                 "reference implementation '" + name + "' is not "
+                 "exercised by any differential test under tests/; an "
+                 "untested reference cannot anchor the fast path's "
+                 "observational-equivalence contract"});
+    }
+    return diags;
+}
+
+} // namespace xser::lint

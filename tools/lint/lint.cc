@@ -1,727 +1,30 @@
 /**
  * @file
- * xser-lint implementation: tokenizer, rules, allowlist, tree walk.
+ * Tree orchestration: enumerate the scan set, analyze files (in
+ * parallel, through the incremental cache), run the cross-TU rules
+ * over the collected facts, and apply the allowlist.
+ *
+ * Determinism note: the file walk is parallel, but results land in
+ * per-file slots and are merged in canonical sorted-path order, so the
+ * report is byte-identical for any worker count -- the same contract
+ * the lint enforces on the simulator.
  */
 
-#include "lint/lint.hh"
-
 #include <algorithm>
-#include <cctype>
+#include <atomic>
 #include <fstream>
 #include <sstream>
-#include <unordered_set>
+#include <thread>
+
+#include "lint/cache.hh"
+#include "lint/facts.hh"
+#include "lint/lint.hh"
+#include "lint/paths.hh"
+#include "lint/token.hh"
 
 namespace xser::lint {
 
 namespace {
-
-// ---------------------------------------------------------------------
-// Tokenizer. Comments, string literals, character literals, and raw
-// strings are stripped; preprocessor directives are captured whole (one
-// token per logical line, whitespace-normalized) so include and pragma
-// rules can match them; everything else becomes identifier, number, or
-// punctuation tokens. "::" and "->" are kept as single tokens because
-// the rules reason about qualification and member access.
-// ---------------------------------------------------------------------
-
-enum class Kind { Identifier, Number, Punct, Directive };
-
-struct Token
-{
-    Kind kind;
-    std::string text;
-    int line;
-};
-
-bool
-isIdentStart(char c)
-{
-    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-
-bool
-isIdentChar(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/** Collapse whitespace runs to single spaces and trim both ends. */
-std::string
-normalizeSpace(const std::string &text)
-{
-    std::string out;
-    bool pending_space = false;
-    for (char c : text) {
-        if (std::isspace(static_cast<unsigned char>(c))) {
-            pending_space = !out.empty();
-        } else {
-            if (pending_space)
-                out.push_back(' ');
-            pending_space = false;
-            out.push_back(c);
-        }
-    }
-    return out;
-}
-
-class Tokenizer
-{
-  public:
-    explicit Tokenizer(const std::string &src) : src_(src) {}
-
-    std::vector<Token> run();
-
-  private:
-    char peek(size_t ahead = 0) const
-    {
-        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
-    }
-
-    void advance()
-    {
-        if (src_[pos_] == '\n') {
-            ++line_;
-            at_line_start_ = true;
-        }
-        ++pos_;
-    }
-
-    void skipBlockComment();
-    void skipLineComment();
-    void skipQuoted(char quote);
-    void skipRawString();
-    void lexDirective(std::vector<Token> &out);
-
-    const std::string &src_;
-    size_t pos_ = 0;
-    int line_ = 1;
-    bool at_line_start_ = true;
-};
-
-void
-Tokenizer::skipBlockComment()
-{
-    advance();
-    advance();
-    while (pos_ < src_.size()) {
-        if (peek() == '*' && peek(1) == '/') {
-            advance();
-            advance();
-            return;
-        }
-        advance();
-    }
-}
-
-void
-Tokenizer::skipLineComment()
-{
-    while (pos_ < src_.size() && peek() != '\n')
-        advance();
-}
-
-void
-Tokenizer::skipQuoted(char quote)
-{
-    advance();
-    while (pos_ < src_.size()) {
-        if (peek() == '\\') {
-            advance();
-            if (pos_ < src_.size())
-                advance();
-            continue;
-        }
-        if (peek() == quote || peek() == '\n') {
-            advance();
-            return;
-        }
-        advance();
-    }
-}
-
-void
-Tokenizer::skipRawString()
-{
-    // At entry pos_ is on the opening quote of R"delim( ... )delim".
-    advance();
-    std::string delim;
-    while (pos_ < src_.size() && peek() != '(') {
-        delim.push_back(peek());
-        advance();
-    }
-    const std::string close = ")" + delim + "\"";
-    while (pos_ < src_.size()) {
-        if (src_.compare(pos_, close.size(), close) == 0) {
-            for (size_t k = 0; k < close.size(); ++k)
-                advance();
-            return;
-        }
-        advance();
-    }
-}
-
-void
-Tokenizer::lexDirective(std::vector<Token> &out)
-{
-    const int start_line = line_;
-    advance(); // consume '#'
-    std::string text;
-    while (pos_ < src_.size()) {
-        const char c = peek();
-        if (c == '\\' && peek(1) == '\n') {
-            advance();
-            advance();
-            text.push_back(' ');
-            continue;
-        }
-        if (c == '\n')
-            break;
-        if (c == '/' && peek(1) == '/') {
-            skipLineComment();
-            break;
-        }
-        if (c == '/' && peek(1) == '*') {
-            skipBlockComment();
-            text.push_back(' ');
-            continue;
-        }
-        text.push_back(c);
-        advance();
-    }
-    out.push_back({Kind::Directive, normalizeSpace(text), start_line});
-}
-
-std::vector<Token>
-Tokenizer::run()
-{
-    std::vector<Token> out;
-    while (pos_ < src_.size()) {
-        const char c = peek();
-        if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
-            advance();
-            continue;
-        }
-        if (c == '/' && peek(1) == '/') {
-            skipLineComment();
-            continue;
-        }
-        if (c == '/' && peek(1) == '*') {
-            skipBlockComment();
-            continue;
-        }
-        if (c == '#' && at_line_start_) {
-            lexDirective(out);
-            continue;
-        }
-        at_line_start_ = false;
-        if (c == '"') {
-            skipQuoted('"');
-            continue;
-        }
-        if (c == '\'') {
-            skipQuoted('\'');
-            continue;
-        }
-        if (isIdentStart(c)) {
-            std::string word;
-            const int start_line = line_;
-            while (pos_ < src_.size() && isIdentChar(peek())) {
-                word.push_back(peek());
-                advance();
-            }
-            // Raw / prefixed string literals: R"...", u8R"...", ...
-            if (peek() == '"') {
-                const bool raw = !word.empty() && word.back() == 'R';
-                if (raw) {
-                    skipRawString();
-                    continue;
-                }
-                // u8"...", L"...": plain string with an encoding prefix.
-                skipQuoted('"');
-                continue;
-            }
-            if (peek() == '\'' &&
-                (word == "u8" || word == "u" || word == "U" ||
-                 word == "L")) {
-                skipQuoted('\'');
-                continue;
-            }
-            out.push_back({Kind::Identifier, word, start_line});
-            continue;
-        }
-        if (std::isdigit(static_cast<unsigned char>(c)) ||
-            (c == '.' && std::isdigit(
-                static_cast<unsigned char>(peek(1))))) {
-            std::string num;
-            const int start_line = line_;
-            while (pos_ < src_.size()) {
-                const char d = peek();
-                if (isIdentChar(d) || d == '.' ||
-                    (d == '\'' && isIdentChar(peek(1)))) {
-                    num.push_back(d);
-                    advance();
-                    continue;
-                }
-                if ((d == '+' || d == '-') && !num.empty()) {
-                    const char e = num.back();
-                    if (e == 'e' || e == 'E' || e == 'p' || e == 'P') {
-                        num.push_back(d);
-                        advance();
-                        continue;
-                    }
-                }
-                break;
-            }
-            out.push_back({Kind::Number, num, start_line});
-            continue;
-        }
-        // Punctuation; keep "::" and "->" whole.
-        if (c == ':' && peek(1) == ':') {
-            out.push_back({Kind::Punct, "::", line_});
-            advance();
-            advance();
-            continue;
-        }
-        if (c == '-' && peek(1) == '>') {
-            out.push_back({Kind::Punct, "->", line_});
-            advance();
-            advance();
-            continue;
-        }
-        out.push_back({Kind::Punct, std::string(1, c), line_});
-        advance();
-    }
-    return out;
-}
-
-// ---------------------------------------------------------------------
-// Path predicates and rule tables.
-// ---------------------------------------------------------------------
-
-bool
-startsWith(const std::string &text, const std::string &prefix)
-{
-    return text.compare(0, prefix.size(), prefix) == 0;
-}
-
-bool
-endsWith(const std::string &text, const std::string &suffix)
-{
-    return text.size() >= suffix.size() &&
-           text.compare(text.size() - suffix.size(), suffix.size(),
-                        suffix) == 0;
-}
-
-bool
-isHeaderPath(const std::string &path)
-{
-    return endsWith(path, ".hh") || endsWith(path, ".h") ||
-           endsWith(path, ".hpp");
-}
-
-/** Subsystems whose floating-point reductions must not depend on hash
- *  order; unordered containers there need an allowlist justification. */
-bool
-inOrderSensitiveDir(const std::string &path)
-{
-    return startsWith(path, "src/core/") || startsWith(path, "src/sim/") ||
-           startsWith(path, "src/rad/") || startsWith(path, "src/mem/") ||
-           startsWith(path, "src/trace/");
-}
-
-bool
-wallclockSanctioned(const std::string &path)
-{
-    return path == "src/sim/rng.cc" || startsWith(path, "src/cli/");
-}
-
-bool
-rawRngSanctioned(const std::string &path)
-{
-    return path == "src/sim/rng.cc" || path == "src/sim/rng.hh";
-}
-
-bool
-fanInSanctioned(const std::string &path)
-{
-    return path == "src/core/parallel_campaign.cc";
-}
-
-const std::unordered_set<std::string> &
-wallclockNames()
-{
-    static const std::unordered_set<std::string> names{
-        "getenv", "secure_getenv", "setenv", "putenv", "unsetenv",
-        "gettimeofday", "clock_gettime", "clock_getres", "timespec_get",
-        "localtime", "localtime_r", "gmtime", "gmtime_r", "mktime",
-        "asctime", "ctime", "strftime", "system_clock", "steady_clock",
-        "high_resolution_clock", "utc_clock", "file_clock", "tai_clock",
-        "gps_clock",
-    };
-    return names;
-}
-
-const std::unordered_set<std::string> &
-rawRngNames()
-{
-    static const std::unordered_set<std::string> names{
-        "random_device", "mt19937", "mt19937_64", "minstd_rand",
-        "minstd_rand0", "ranlux24", "ranlux24_base", "ranlux48",
-        "ranlux48_base", "knuth_b", "default_random_engine",
-        "linear_congruential_engine", "mersenne_twister_engine",
-        "subtract_with_carry_engine", "discard_block_engine",
-        "independent_bits_engine", "shuffle_order_engine", "srand",
-        "srandom", "drand48", "lrand48", "mrand48", "random_r",
-    };
-    return names;
-}
-
-const std::unordered_set<std::string> &
-fanInNames()
-{
-    static const std::unordered_set<std::string> names{
-        "thread", "jthread", "async", "future", "shared_future",
-        "promise", "packaged_task", "atomic", "atomic_ref",
-        "atomic_flag", "mutex", "shared_mutex", "recursive_mutex",
-        "timed_mutex", "recursive_timed_mutex", "condition_variable",
-        "condition_variable_any", "barrier", "latch",
-        "counting_semaphore", "binary_semaphore", "stop_source",
-        "stop_token", "call_once", "once_flag", "lock_guard",
-        "unique_lock", "scoped_lock", "shared_lock",
-    };
-    return names;
-}
-
-const std::unordered_set<std::string> &
-unorderedNames()
-{
-    static const std::unordered_set<std::string> names{
-        "unordered_map", "unordered_set", "unordered_multimap",
-        "unordered_multiset",
-    };
-    return names;
-}
-
-/** True when `#include <header>` (or the quoted form) names `header`. */
-bool
-directiveIncludes(const std::string &directive, const std::string &header)
-{
-    std::string squeezed;
-    for (char c : directive)
-        if (!std::isspace(static_cast<unsigned char>(c)))
-            squeezed.push_back(c);
-    if (!startsWith(squeezed, "include"))
-        return false;
-    return squeezed.find("<" + header + ">") != std::string::npos ||
-           squeezed.find("\"" + header + "\"") != std::string::npos;
-}
-
-// ---------------------------------------------------------------------
-// Per-file analysis.
-// ---------------------------------------------------------------------
-
-class FileLinter
-{
-  public:
-    FileLinter(const std::string &path, const std::vector<Token> &tokens)
-        : path_(path), tokens_(tokens) {}
-
-    std::vector<Diagnostic> run();
-
-  private:
-    void report(int line, const std::string &rule,
-                const std::string &token, const std::string &message)
-    {
-        diags_.push_back({path_, line, rule, token, message});
-    }
-
-    const Token *at(size_t index) const
-    {
-        return index < tokens_.size() ? &tokens_[index] : nullptr;
-    }
-
-    bool isStdQualified(size_t index) const
-    {
-        return index >= 2 && tokens_[index - 1].kind == Kind::Punct &&
-               tokens_[index - 1].text == "::" &&
-               tokens_[index - 2].kind == Kind::Identifier &&
-               tokens_[index - 2].text == "std";
-    }
-
-    /** Heuristic: identifier at `index` looks like a free-function
-     *  call, not a member access, qualified name, or declaration. */
-    bool looksLikeFreeCall(size_t index) const
-    {
-        const Token *next = at(index + 1);
-        if (next == nullptr || next->kind != Kind::Punct ||
-            next->text != "(")
-            return false;
-        if (index == 0)
-            return true;
-        const Token &prev = tokens_[index - 1];
-        if (prev.kind == Kind::Identifier)
-            return false; // `int rand(...)`: a declaration.
-        if (prev.kind == Kind::Punct &&
-            (prev.text == "." || prev.text == "->" || prev.text == "&" ||
-             prev.text == "*" || prev.text == "~"))
-            return false;
-        if (prev.kind == Kind::Punct && prev.text == "::")
-            return isStdQualified(index);
-        return true;
-    }
-
-    void checkDirectives();
-    void checkWallclock();
-    void checkRawRng();
-    void checkUnordered();
-    void checkHeaderHygiene();
-    void checkParallelFanIn();
-
-    const std::string &path_;
-    const std::vector<Token> &tokens_;
-    std::vector<Diagnostic> diags_;
-};
-
-void
-FileLinter::checkDirectives()
-{
-    for (const Token &token : tokens_) {
-        if (token.kind != Kind::Directive)
-            continue;
-        if (!wallclockSanctioned(path_)) {
-            for (const char *header : {"chrono", "ctime", "sys/time.h"}) {
-                if (directiveIncludes(token.text, header))
-                    report(token.line, "wallclock",
-                           "<" + std::string(header) + ">",
-                           "#include <" + std::string(header) +
-                               "> pulls wall-clock time into code that "
-                               "must derive all inputs from "
-                               "(seed, session, replicate)");
-            }
-        }
-        if (!rawRngSanctioned(path_) &&
-            directiveIncludes(token.text, "random")) {
-            report(token.line, "raw-rng", "<random>",
-                   "#include <random> is banned outside src/sim/rng; "
-                   "draw from xser::Rng / xser::deriveStreamSeed");
-        }
-        if (!fanInSanctioned(path_) &&
-            startsWith(token.text, "pragma omp")) {
-            report(token.line, "parallel-fanin", "omp",
-                   "OpenMP fan-in outside the canonical merge in "
-                   "src/core/parallel_campaign.cc can reorder "
-                   "floating-point reductions");
-        }
-    }
-}
-
-void
-FileLinter::checkWallclock()
-{
-    if (wallclockSanctioned(path_))
-        return;
-    for (size_t i = 0; i < tokens_.size(); ++i) {
-        const Token &token = tokens_[i];
-        if (token.kind != Kind::Identifier)
-            continue;
-        const bool listed = wallclockNames().count(token.text) > 0;
-        const bool qualified_only =
-            (token.text == "time" || token.text == "clock") &&
-            isStdQualified(i);
-        if (!listed && !qualified_only)
-            continue;
-        if (listed && (token.text == "localtime" || token.text == "ctime" ||
-                       token.text == "mktime" || token.text == "asctime" ||
-                       token.text == "gmtime") &&
-            !isStdQualified(i) && !looksLikeFreeCall(i))
-            continue; // e.g. a member or local named like the C API.
-        report(token.line, "wallclock", token.text,
-               "'" + token.text + "' reads wall-clock time or the "
-               "environment; campaign results must be a pure function "
-               "of (seed, session, replicate)");
-    }
-}
-
-void
-FileLinter::checkRawRng()
-{
-    if (rawRngSanctioned(path_))
-        return;
-    for (size_t i = 0; i < tokens_.size(); ++i) {
-        const Token &token = tokens_[i];
-        if (token.kind != Kind::Identifier)
-            continue;
-        const bool listed = rawRngNames().count(token.text) > 0;
-        const bool heuristic =
-            (token.text == "rand" || token.text == "random") &&
-            (isStdQualified(i) || looksLikeFreeCall(i));
-        if (!listed && !heuristic)
-            continue;
-        report(token.line, "raw-rng", token.text,
-               "raw RNG '" + token.text + "' bypasses the deterministic "
-               "stream splitter; all streams must come from xser::Rng / "
-               "xser::deriveStreamSeed (src/sim/rng)");
-    }
-}
-
-void
-FileLinter::checkUnordered()
-{
-    if (!inOrderSensitiveDir(path_))
-        return;
-    // Pass 1: flag declarations and collect declared variable names.
-    std::unordered_set<std::string> variables;
-    for (size_t i = 0; i < tokens_.size(); ++i) {
-        const Token &token = tokens_[i];
-        if (token.kind != Kind::Identifier ||
-            unorderedNames().count(token.text) == 0)
-            continue;
-        const Token *next = at(i + 1);
-        if (next == nullptr || next->kind != Kind::Punct ||
-            next->text != "<")
-            continue;
-        report(token.line, "unordered-decl", token.text,
-               "std::" + token.text + " in an order-sensitive subsystem "
-               "(src/{core,sim,rad,mem}); hash order must never feed a "
-               "floating-point reduction -- use an ordered container or "
-               "justify in the allowlist");
-        // Skip the balanced template argument list; the identifier
-        // right after it (if any) is the declared variable.
-        size_t j = i + 1;
-        int depth = 0;
-        for (; j < tokens_.size(); ++j) {
-            if (tokens_[j].kind != Kind::Punct)
-                continue;
-            if (tokens_[j].text == "<")
-                ++depth;
-            else if (tokens_[j].text == ">" && --depth == 0)
-                break;
-            else if (tokens_[j].text == ";" || tokens_[j].text == "{")
-                break; // malformed; bail out.
-        }
-        const Token *name = at(j + 1);
-        if (name != nullptr && name->kind == Kind::Identifier)
-            variables.insert(name->text);
-    }
-    // Pass 2: flag iteration over the collected names.
-    for (size_t i = 0; i < tokens_.size(); ++i) {
-        const Token &token = tokens_[i];
-        if (token.kind != Kind::Identifier ||
-            variables.count(token.text) == 0)
-            continue;
-        const Token *prev = i > 0 ? &tokens_[i - 1] : nullptr;
-        if (prev != nullptr && prev->kind == Kind::Punct &&
-            prev->text == ":") {
-            report(token.line, "unordered-iter", token.text,
-                   "range-for over unordered container '" + token.text +
-                   "' iterates in hash order");
-            continue;
-        }
-        const Token *dot = at(i + 1);
-        const Token *member = at(i + 2);
-        if (dot != nullptr && dot->kind == Kind::Punct &&
-            (dot->text == "." || dot->text == "->") &&
-            member != nullptr && member->kind == Kind::Identifier &&
-            (member->text == "begin" || member->text == "cbegin" ||
-             member->text == "end" || member->text == "cend")) {
-            report(member->line, "unordered-iter", token.text,
-                   "iterator walk over unordered container '" +
-                   token.text + "' visits elements in hash order");
-        }
-    }
-}
-
-void
-FileLinter::checkHeaderHygiene()
-{
-    if (!isHeaderPath(path_))
-        return;
-    bool guarded = false;
-    std::string macro;
-    for (const Token &token : tokens_) {
-        if (token.kind != Kind::Directive)
-            continue;
-        if (token.text == "pragma once") {
-            guarded = true;
-            break;
-        }
-        std::istringstream words(token.text);
-        std::string keyword, name;
-        words >> keyword >> name;
-        if (macro.empty() && keyword == "ifndef") {
-            macro = name;
-            continue;
-        }
-        if (!macro.empty() && keyword == "define" && name == macro) {
-            guarded = true;
-            break;
-        }
-    }
-    if (!guarded)
-        report(1, "header-guard", path_,
-               "header lacks an include guard (#ifndef/#define pair "
-               "or #pragma once)");
-    for (size_t i = 0; i + 1 < tokens_.size(); ++i) {
-        if (tokens_[i].kind == Kind::Identifier &&
-            tokens_[i].text == "using" &&
-            tokens_[i + 1].kind == Kind::Identifier &&
-            tokens_[i + 1].text == "namespace") {
-            report(tokens_[i].line, "header-using-namespace",
-                   "using-namespace",
-                   "'using namespace' in a header leaks into every "
-                   "includer");
-        }
-    }
-}
-
-void
-FileLinter::checkParallelFanIn()
-{
-    if (fanInSanctioned(path_))
-        return;
-    for (size_t i = 0; i < tokens_.size(); ++i) {
-        const Token &token = tokens_[i];
-        if (token.kind != Kind::Identifier ||
-            fanInNames().count(token.text) == 0)
-            continue;
-        if (!isStdQualified(i))
-            continue; // Only std::-qualified uses; locals may share
-                      // these names.
-        if (token.text == "thread") {
-            const Token *sep = at(i + 1);
-            const Token *member = at(i + 2);
-            if (sep != nullptr && sep->kind == Kind::Punct &&
-                sep->text == "::" && member != nullptr &&
-                member->text == "hardware_concurrency")
-                continue; // Sizing a worker pool is not fan-in.
-        }
-        report(token.line, "parallel-fanin", token.text,
-               "'std::" + token.text + "' outside "
-               "src/core/parallel_campaign.cc: the simulation core must "
-               "stay single-threaded so merge order is fixed and no "
-               "floating-point reduction depends on scheduling");
-    }
-}
-
-std::vector<Diagnostic>
-FileLinter::run()
-{
-    checkDirectives();
-    checkWallclock();
-    checkRawRng();
-    checkUnordered();
-    checkHeaderHygiene();
-    checkParallelFanIn();
-    std::sort(diags_.begin(), diags_.end(),
-              [](const Diagnostic &a, const Diagnostic &b) {
-                  if (a.line != b.line)
-                      return a.line < b.line;
-                  if (a.rule != b.rule)
-                      return a.rule < b.rule;
-                  return a.token < b.token;
-              });
-    return std::move(diags_);
-}
 
 bool
 entryMatches(const AllowEntry &entry, const Diagnostic &diag)
@@ -731,22 +34,81 @@ entryMatches(const AllowEntry &entry, const Diagnostic &diag)
     if (!entry.token.empty() && entry.token != diag.token)
         return false;
     if (!entry.path.empty() && entry.path.back() == '/')
-        return startsWith(diag.file, entry.path);
+        return pathStartsWith(diag.file, entry.path);
     return entry.path == diag.file;
 }
 
-} // namespace
-
-// ---------------------------------------------------------------------
-// Public entry points.
-// ---------------------------------------------------------------------
-
-std::string
-Diagnostic::format() const
+void
+sortCanonical(std::vector<Diagnostic> &diags)
 {
-    return file + ":" + std::to_string(line) + ": " + rule + ": " +
-           message;
+    std::sort(diags.begin(), diags.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.rule != b.rule)
+                      return a.rule < b.rule;
+                  return a.token < b.token;
+              });
 }
+
+/** One scan-set member: absolute path, repo-relative path, and whether
+ *  per-file rules run on it (facts-only dirs contribute facts only). */
+struct ScanFile
+{
+    std::filesystem::path abs;
+    std::string rel;
+    bool factsOnly = false;
+};
+
+/** Result slot for one file, filled by a worker thread. */
+struct ScanResult
+{
+    std::vector<Diagnostic> diags;
+    FileFacts facts;
+    uint64_t hash = 0;
+    bool cached = false;
+    bool ok = false;
+};
+
+std::vector<ScanFile>
+enumerateFiles(const LintConfig &config)
+{
+    namespace fs = std::filesystem;
+    std::vector<ScanFile> files;
+    auto walk = [&](const std::string &dir, bool facts_only) {
+        const fs::path base = config.root / dir;
+        if (!fs::is_directory(base))
+            return;
+        for (const auto &entry :
+             fs::recursive_directory_iterator(base)) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string ext = entry.path().extension().string();
+            if (ext != ".cc" && ext != ".hh" && ext != ".cpp" &&
+                ext != ".hpp" && ext != ".h" && ext != ".cxx")
+                continue;
+            ScanFile file;
+            file.abs = entry.path();
+            file.rel =
+                fs::relative(entry.path(), config.root).generic_string();
+            file.factsOnly = facts_only;
+            files.push_back(std::move(file));
+        }
+    };
+    for (const std::string &dir : config.scanDirs)
+        walk(dir, false);
+    for (const std::string &dir : config.factsDirs)
+        walk(dir, true);
+    std::sort(files.begin(), files.end(),
+              [](const ScanFile &a, const ScanFile &b) {
+                  return a.rel < b.rel;
+              });
+    return files;
+}
+
+} // namespace
 
 Allowlist
 parseAllowlist(const std::string &text, const std::string &file_name)
@@ -785,8 +147,16 @@ parseAllowlist(const std::string &text, const std::string &file_name)
             justification.clear();
             continue;
         }
+        if (!knownRule(entry.rule)) {
+            result.errors.push_back(
+                {file_name, line_number, "allowlist-format", entry.rule,
+                 "unknown rule id '" + entry.rule +
+                     "' (a typo here would silently allow nothing)"});
+            justification.clear();
+            continue;
+        }
         if (!extra.empty()) {
-            if (startsWith(extra, "token=")) {
+            if (pathStartsWith(extra, "token=")) {
                 entry.token = extra.substr(6);
             } else {
                 result.errors.push_back(
@@ -812,17 +182,9 @@ parseAllowlist(const std::string &text, const std::string &file_name)
     return result;
 }
 
-std::vector<Diagnostic>
-lintSource(const std::string &rel_path, const std::string &content)
-{
-    const std::vector<Token> tokens = Tokenizer(content).run();
-    return FileLinter(rel_path, tokens).run();
-}
-
 LintReport
 runLint(const LintConfig &config)
 {
-    namespace fs = std::filesystem;
     LintReport report;
 
     Allowlist allowlist;
@@ -843,60 +205,174 @@ runLint(const LintConfig &config)
         }
     }
 
-    std::vector<fs::path> files;
-    for (const std::string &dir : config.scanDirs) {
-        const fs::path base = config.root / dir;
-        if (!fs::is_directory(base))
-            continue;
-        for (const auto &entry :
-             fs::recursive_directory_iterator(base)) {
-            if (!entry.is_regular_file())
-                continue;
-            const std::string ext = entry.path().extension().string();
-            if (ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
-                ext == ".hpp" || ext == ".h" || ext == ".cxx")
-                files.push_back(entry.path());
+    const std::vector<ScanFile> files = enumerateFiles(config);
+
+    ScanCache cache;
+    if (!config.cacheFile.empty()) {
+        std::ifstream in(config.cacheFile);
+        if (in) {
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            cache = ScanCache::parse(buffer.str(), config.rules);
         }
     }
-    std::sort(files.begin(), files.end());
 
-    std::vector<char> entry_used(allowlist.entries.size(), 0);
-    for (const fs::path &file : files) {
-        std::ifstream in(file);
-        if (!in)
+    // Parallel analysis into per-file slots; the merge below walks the
+    // slots in sorted-path order, so worker count never affects output.
+    std::vector<ScanResult> results(files.size());
+    std::atomic<size_t> cursor{0};
+    auto worker = [&]() {
+        for (;;) {
+            const size_t i = cursor.fetch_add(1);
+            if (i >= files.size())
+                return;
+            const ScanFile &file = files[i];
+            ScanResult &slot = results[i];
+            std::ifstream in(file.abs);
+            if (!in)
+                continue;
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            const std::string content = buffer.str();
+            slot.hash = fnv1a64(file.rel) ^ fnv1a64(content);
+            if (const CacheEntry *hit =
+                    cache.lookup(file.rel, slot.hash)) {
+                slot.diags = hit->diags;
+                slot.facts = hit->facts;
+                slot.cached = true;
+                slot.ok = true;
+                continue;
+            }
+            if (!file.factsOnly)
+                slot.diags = lintSource(file.rel, content, config.rules);
+            slot.facts = extractFacts(file.rel, content);
+            slot.ok = true;
+        }
+    };
+    unsigned jobs = config.jobs != 0
+                        ? config.jobs
+                        : std::thread::hardware_concurrency();
+    if (jobs == 0)
+        jobs = 1;
+    jobs = static_cast<unsigned>(
+        std::min<size_t>(jobs, std::max<size_t>(files.size(), 1)));
+    if (jobs <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &thread : pool)
+            thread.join();
+    }
+
+    // Canonical-order merge.
+    std::vector<Diagnostic> findings;
+    std::vector<FileFacts> tree_facts;
+    std::vector<FileFacts> test_facts;
+    for (size_t i = 0; i < files.size(); ++i) {
+        const ScanResult &slot = results[i];
+        if (!slot.ok)
             continue;
-        std::ostringstream buffer;
-        buffer << in.rdbuf();
-        const std::string rel =
-            fs::relative(file, config.root).generic_string();
         ++report.filesScanned;
-        for (Diagnostic &diag : lintSource(rel, buffer.str())) {
-            bool matched = false;
-            for (size_t e = 0; e < allowlist.entries.size(); ++e) {
-                if (entryMatches(allowlist.entries[e], diag)) {
-                    entry_used[e] = 1;
-                    matched = true;
+        if (slot.cached)
+            ++report.cacheHits;
+        findings.insert(findings.end(), slot.diags.begin(),
+                        slot.diags.end());
+        if (files[i].factsOnly)
+            test_facts.push_back(slot.facts);
+        else
+            tree_facts.push_back(slot.facts);
+    }
+
+    // Cross-TU rules (semantic set only).
+    if (config.rules != RuleSet::Classic) {
+        auto append = [&](std::vector<Diagnostic> diags) {
+            findings.insert(findings.end(),
+                            std::make_move_iterator(diags.begin()),
+                            std::make_move_iterator(diags.end()));
+        };
+        append(checkLayering(tree_facts));
+        append(checkTraceSchemaSync(tree_facts));
+        append(checkFastpathParity(tree_facts, test_facts));
+    }
+
+    // --diff mode: only report findings in the requested files.
+    if (!config.onlyFiles.empty()) {
+        std::vector<Diagnostic> kept;
+        for (Diagnostic &diag : findings) {
+            for (const std::string &only : config.onlyFiles) {
+                if (diag.file == only) {
+                    kept.push_back(std::move(diag));
                     break;
                 }
             }
-            if (matched)
-                report.allowed.push_back(std::move(diag));
+        }
+        findings = std::move(kept);
+    }
+
+    sortCanonical(findings);
+
+    std::vector<char> entry_used(allowlist.entries.size(), 0);
+    for (Diagnostic &diag : findings) {
+        bool matched = false;
+        for (size_t e = 0; e < allowlist.entries.size(); ++e) {
+            if (entryMatches(allowlist.entries[e], diag)) {
+                entry_used[e] = 1;
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            report.allowed.push_back(std::move(diag));
+        else
+            report.unallowed.push_back(std::move(diag));
+    }
+
+    // Stale entries: hard errors, unless --allow-stale demotes them or
+    // --diff restricted the scan (partial findings prove nothing). An
+    // entry for a rule outside the active set is never stale here --
+    // the lint.Tree / lint.Semantic CI split would otherwise each
+    // report the other's entries.
+    if (config.onlyFiles.empty()) {
+        for (size_t e = 0; e < allowlist.entries.size(); ++e) {
+            if (entry_used[e])
+                continue;
+            const AllowEntry &entry = allowlist.entries[e];
+            if (!ruleInSet(entry.rule, config.rules))
+                continue;
+            Diagnostic diag{
+                config.allowFile.generic_string(), entry.line,
+                "allowlist-stale", entry.rule,
+                "allowlist entry '" + entry.rule + " " + entry.path +
+                    (entry.token.empty() ? ""
+                                         : " token=" + entry.token) +
+                    "' no longer matches any finding; delete it (or "
+                    "pass --allow-stale while reworking the tree)"};
+            if (config.allowStale)
+                report.staleWarnings.push_back(std::move(diag));
             else
-                report.unallowed.push_back(std::move(diag));
+                report.configErrors.push_back(std::move(diag));
         }
     }
 
-    for (size_t e = 0; e < allowlist.entries.size(); ++e) {
-        if (entry_used[e])
-            continue;
-        const AllowEntry &entry = allowlist.entries[e];
-        report.configErrors.push_back(
-            {config.allowFile.generic_string(), entry.line,
-             "allowlist-stale", entry.rule,
-             "entry '" + entry.rule + " " + entry.path +
-                 "' matched nothing; delete it so the allowlist only "
-                 "ever shrinks"});
+    if (!config.cacheFile.empty()) {
+        ScanCache persisted;
+        for (size_t i = 0; i < files.size(); ++i) {
+            if (!results[i].ok)
+                continue;
+            CacheEntry entry;
+            entry.hash = results[i].hash;
+            entry.diags = std::move(results[i].diags);
+            entry.facts = std::move(results[i].facts);
+            persisted.store(files[i].rel, std::move(entry));
+        }
+        std::ofstream out(config.cacheFile);
+        if (out)
+            out << persisted.serialize(config.rules);
     }
+
     return report;
 }
 

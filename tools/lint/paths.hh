@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared path predicates: which directories each rule applies to and
+ * which files are sanctioned exceptions. Kept in one place so the
+ * per-file rules, the flow rules, and the tree walk agree exactly.
+ */
+
+#ifndef XSER_TOOLS_LINT_PATHS_HH
+#define XSER_TOOLS_LINT_PATHS_HH
+
+#include <string>
+
+namespace xser::lint {
+
+inline bool
+pathStartsWith(const std::string &text, const std::string &prefix)
+{
+    return text.compare(0, prefix.size(), prefix) == 0;
+}
+
+inline bool
+pathEndsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+inline bool
+isHeaderPath(const std::string &path)
+{
+    return pathEndsWith(path, ".hh") || pathEndsWith(path, ".h") ||
+           pathEndsWith(path, ".hpp");
+}
+
+/** Subsystems whose floating-point reductions must not depend on hash
+ *  order; unordered containers there need an allowlist justification. */
+inline bool
+inOrderSensitiveDir(const std::string &path)
+{
+    return pathStartsWith(path, "src/core/") ||
+           pathStartsWith(path, "src/sim/") ||
+           pathStartsWith(path, "src/rad/") ||
+           pathStartsWith(path, "src/mem/") ||
+           pathStartsWith(path, "src/trace/");
+}
+
+inline bool
+wallclockSanctioned(const std::string &path)
+{
+    return path == "src/sim/rng.cc" || pathStartsWith(path, "src/cli/");
+}
+
+inline bool
+rawRngSanctioned(const std::string &path)
+{
+    return path == "src/sim/rng.cc" || path == "src/sim/rng.hh";
+}
+
+/** The canonical worker-pool fan-in, plus the lint scanner itself:
+ *  the analyzer parallelizes its file walk but merges results in
+ *  canonical file order, and it never touches simulation state. */
+inline bool
+fanInSanctioned(const std::string &path)
+{
+    return path == "src/core/parallel_campaign.cc" ||
+           pathStartsWith(path, "tools/lint/");
+}
+
+/** Simulation code subject to RNG stream discipline. */
+inline bool
+rngDisciplineApplies(const std::string &path)
+{
+    return pathStartsWith(path, "src/") && !rawRngSanctioned(path);
+}
+
+/** The sanctioned Chan-merge fan-in for floating-point reductions. */
+inline bool
+fpReductionSanctioned(const std::string &path)
+{
+    return path == "src/core/parallel_campaign.cc";
+}
+
+} // namespace xser::lint
+
+#endif // XSER_TOOLS_LINT_PATHS_HH

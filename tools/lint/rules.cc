@@ -1,0 +1,936 @@
+/**
+ * @file
+ * Per-file rules: the classic token-level checks plus the flow-aware
+ * semantic checks (rng-stream-discipline, fp-reduction-order). The
+ * flow layer is deliberately lightweight -- bracket matching, brace
+ * contexts (class vs block), declared-variable types, and loop regions
+ * -- which is enough to reason about seed provenance and iteration
+ * sources without a compiler front end.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "lint/lint.hh"
+#include "lint/paths.hh"
+#include "lint/token.hh"
+
+namespace xser::lint {
+
+namespace {
+
+const std::unordered_set<std::string> &
+wallclockNames()
+{
+    static const std::unordered_set<std::string> names{
+        "getenv", "secure_getenv", "setenv", "putenv", "unsetenv",
+        "gettimeofday", "clock_gettime", "clock_getres", "timespec_get",
+        "localtime", "localtime_r", "gmtime", "gmtime_r", "mktime",
+        "asctime", "ctime", "strftime", "system_clock", "steady_clock",
+        "high_resolution_clock", "utc_clock", "file_clock", "tai_clock",
+        "gps_clock",
+    };
+    return names;
+}
+
+const std::unordered_set<std::string> &
+rawRngNames()
+{
+    static const std::unordered_set<std::string> names{
+        "random_device", "mt19937", "mt19937_64", "minstd_rand",
+        "minstd_rand0", "ranlux24", "ranlux24_base", "ranlux48",
+        "ranlux48_base", "knuth_b", "default_random_engine",
+        "linear_congruential_engine", "mersenne_twister_engine",
+        "subtract_with_carry_engine", "discard_block_engine",
+        "independent_bits_engine", "shuffle_order_engine", "srand",
+        "srandom", "drand48", "lrand48", "mrand48", "random_r",
+    };
+    return names;
+}
+
+const std::unordered_set<std::string> &
+fanInNames()
+{
+    static const std::unordered_set<std::string> names{
+        "thread", "jthread", "async", "future", "shared_future",
+        "promise", "packaged_task", "atomic", "atomic_ref",
+        "atomic_flag", "mutex", "shared_mutex", "recursive_mutex",
+        "timed_mutex", "recursive_timed_mutex", "condition_variable",
+        "condition_variable_any", "barrier", "latch",
+        "counting_semaphore", "binary_semaphore", "stop_source",
+        "stop_token", "call_once", "once_flag", "lock_guard",
+        "unique_lock", "scoped_lock", "shared_lock",
+    };
+    return names;
+}
+
+const std::unordered_set<std::string> &
+unorderedNames()
+{
+    static const std::unordered_set<std::string> names{
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset",
+    };
+    return names;
+}
+
+/** True when `#include <header>` (or the quoted form) names `header`. */
+bool
+directiveIncludes(const std::string &directive, const std::string &header)
+{
+    std::string squeezed;
+    for (char c : directive)
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            squeezed.push_back(c);
+    if (!pathStartsWith(squeezed, "include"))
+        return false;
+    return squeezed.find("<" + header + ">") != std::string::npos ||
+           squeezed.find("\"" + header + "\"") != std::string::npos;
+}
+
+std::string
+lowercase(const std::string &text)
+{
+    std::string out = text;
+    for (char &c : out)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Declared unordered-container variables (shared by the classic
+// unordered rules and the fp-reduction-order flow rule).
+// ---------------------------------------------------------------------
+
+struct UnorderedDecl
+{
+    size_t index; ///< Token index of the container type name.
+    int line;
+    std::string type; ///< e.g. "unordered_map"
+    std::string name; ///< Declared variable, "" when none found.
+};
+
+std::vector<UnorderedDecl>
+collectUnorderedDecls(const std::vector<Token> &tokens)
+{
+    std::vector<UnorderedDecl> decls;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+        const Token &token = tokens[i];
+        if (token.kind != Kind::Identifier ||
+            unorderedNames().count(token.text) == 0)
+            continue;
+        if (i + 1 >= tokens.size() ||
+            tokens[i + 1].kind != Kind::Punct ||
+            tokens[i + 1].text != "<")
+            continue;
+        UnorderedDecl decl{i, token.line, token.text, ""};
+        // Skip the balanced template argument list; the identifier
+        // after it (past cv/ref/pointer punctuation) is the variable.
+        size_t j = i + 1;
+        int depth = 0;
+        for (; j < tokens.size(); ++j) {
+            if (tokens[j].kind != Kind::Punct)
+                continue;
+            if (tokens[j].text == "<")
+                ++depth;
+            else if (tokens[j].text == ">" && --depth == 0)
+                break;
+            else if (tokens[j].text == ";" || tokens[j].text == "{")
+                break; // malformed; bail out.
+        }
+        ++j;
+        while (j < tokens.size() &&
+               ((tokens[j].kind == Kind::Punct &&
+                 (tokens[j].text == "&" || tokens[j].text == "*")) ||
+                (tokens[j].kind == Kind::Identifier &&
+                 tokens[j].text == "const")))
+            ++j;
+        if (j < tokens.size() && tokens[j].kind == Kind::Identifier)
+            decl.name = tokens[j].text;
+        decls.push_back(std::move(decl));
+    }
+    return decls;
+}
+
+// ---------------------------------------------------------------------
+// Flow facts: bracket matching, brace contexts, loop regions.
+// ---------------------------------------------------------------------
+
+enum class BraceKind { Block, Class, Namespace, Enum };
+
+struct LoopRegion
+{
+    size_t headerStart = 0; ///< Index of '('.
+    size_t headerEnd = 0;   ///< Index of matching ')'.
+    size_t bodyStart = 0;
+    size_t bodyEnd = 0; ///< One past the last body token.
+    bool coordinate = false; ///< Header names session/replicate state.
+    bool rangeFor = false;
+    std::string sourceRoot; ///< Range-for source's first identifier.
+    int line = 0;
+};
+
+class FlowFacts
+{
+  public:
+    explicit FlowFacts(const std::vector<Token> &tokens)
+        : tokens_(tokens)
+    {
+        matchBrackets();
+        classifyBraces();
+        findLoops();
+    }
+
+    /** Matching close index for an open bracket, or tokens.size(). */
+    size_t match(size_t open) const
+    {
+        const auto it = match_.find(open);
+        return it == match_.end() ? tokens_.size() : it->second;
+    }
+
+    /** Innermost brace context at token index (Block at top level:
+     *  anything outside a class/namespace is treated as code). */
+    BraceKind contextAt(size_t index) const
+    {
+        BraceKind kind = BraceKind::Namespace; // file scope
+        for (const auto &[open, info] : braces_) {
+            if (open >= index)
+                break;
+            if (match(open) > index)
+                kind = info;
+        }
+        return kind;
+    }
+
+    const std::vector<LoopRegion> &loops() const { return loops_; }
+
+  private:
+    void matchBrackets()
+    {
+        std::vector<size_t> parens;
+        std::vector<size_t> braces;
+        for (size_t i = 0; i < tokens_.size(); ++i) {
+            if (tokens_[i].kind != Kind::Punct)
+                continue;
+            const std::string &text = tokens_[i].text;
+            if (text == "(")
+                parens.push_back(i);
+            else if (text == ")" && !parens.empty()) {
+                match_[parens.back()] = i;
+                parens.pop_back();
+            } else if (text == "{")
+                braces.push_back(i);
+            else if (text == "}" && !braces.empty()) {
+                match_[braces.back()] = i;
+                braces.pop_back();
+            }
+        }
+    }
+
+    void classifyBraces()
+    {
+        for (size_t i = 0; i < tokens_.size(); ++i) {
+            if (tokens_[i].kind != Kind::Punct ||
+                tokens_[i].text != "{")
+                continue;
+            // Scan back to the previous statement boundary and look
+            // for a declaring keyword. An '=' on the way means this is
+            // an initializer list, i.e. code, not a type body.
+            BraceKind kind = BraceKind::Block;
+            for (size_t j = i; j-- > 0;) {
+                const Token &token = tokens_[j];
+                if (token.kind == Kind::Punct &&
+                    (token.text == ";" || token.text == "{" ||
+                     token.text == "}" || token.text == "="))
+                    break;
+                if (token.kind != Kind::Identifier)
+                    continue;
+                if (token.text == "enum") {
+                    kind = BraceKind::Enum;
+                    break;
+                }
+                if (token.text == "class" || token.text == "struct" ||
+                    token.text == "union")
+                    kind = BraceKind::Class;
+                else if (token.text == "namespace")
+                    kind = BraceKind::Namespace;
+            }
+            braces_[i] = kind;
+        }
+    }
+
+    void findLoops()
+    {
+        for (size_t i = 0; i + 1 < tokens_.size(); ++i) {
+            const Token &token = tokens_[i];
+            if (token.kind != Kind::Identifier ||
+                (token.text != "for" && token.text != "while"))
+                continue;
+            if (tokens_[i + 1].kind != Kind::Punct ||
+                tokens_[i + 1].text != "(")
+                continue;
+            LoopRegion loop;
+            loop.line = token.line;
+            loop.headerStart = i + 1;
+            loop.headerEnd = match(i + 1);
+            if (loop.headerEnd >= tokens_.size())
+                continue;
+            // Body: brace block or single statement up to ';'.
+            size_t body = loop.headerEnd + 1;
+            if (body < tokens_.size() &&
+                tokens_[body].kind == Kind::Punct &&
+                tokens_[body].text == "{") {
+                loop.bodyStart = body + 1;
+                loop.bodyEnd = match(body);
+            } else {
+                loop.bodyStart = body;
+                size_t j = body;
+                while (j < tokens_.size() &&
+                       !(tokens_[j].kind == Kind::Punct &&
+                         tokens_[j].text == ";"))
+                    j = (tokens_[j].kind == Kind::Punct &&
+                         (tokens_[j].text == "(" ||
+                          tokens_[j].text == "{"))
+                            ? match(j) + 1
+                            : j + 1;
+                loop.bodyEnd = j;
+            }
+            // Header classification.
+            size_t colon = 0;
+            for (size_t j = loop.headerStart + 1; j < loop.headerEnd;
+                 ++j) {
+                const Token &header = tokens_[j];
+                if (header.kind == Kind::Identifier) {
+                    const std::string lower = lowercase(header.text);
+                    if (lower.find("session") != std::string::npos ||
+                        lower.find("replicate") != std::string::npos ||
+                        lower.find("repl") == 0)
+                        loop.coordinate = true;
+                }
+                if (header.kind == Kind::Punct && header.text == "(") {
+                    j = match(j);
+                    continue; // only the top paren level declares
+                }
+                if (header.kind == Kind::Punct && header.text == ":" &&
+                    colon == 0 && token.text == "for")
+                    colon = j;
+            }
+            if (colon != 0) {
+                loop.rangeFor = true;
+                for (size_t j = colon + 1; j < loop.headerEnd; ++j) {
+                    if (tokens_[j].kind == Kind::Identifier &&
+                        tokens_[j].text != "std" &&
+                        tokens_[j].text != "const") {
+                        loop.sourceRoot = tokens_[j].text;
+                        break;
+                    }
+                }
+            }
+            loops_.push_back(loop);
+        }
+    }
+
+    const std::vector<Token> &tokens_;
+    std::map<size_t, size_t> match_;
+    std::map<size_t, BraceKind> braces_;
+    std::vector<LoopRegion> loops_;
+};
+
+// ---------------------------------------------------------------------
+// Per-file analysis.
+// ---------------------------------------------------------------------
+
+class FileLinter
+{
+  public:
+    FileLinter(const std::string &path, const std::vector<Token> &tokens,
+               RuleSet rules)
+        : path_(path), tokens_(tokens), rules_(rules) {}
+
+    std::vector<Diagnostic> run();
+
+  private:
+    void report(int line, const std::string &rule,
+                const std::string &token, const std::string &message)
+    {
+        diags_.push_back({path_, line, rule, token, message});
+    }
+
+    const Token *at(size_t index) const
+    {
+        return index < tokens_.size() ? &tokens_[index] : nullptr;
+    }
+
+    bool isStdQualified(size_t index) const
+    {
+        return index >= 2 && tokens_[index - 1].kind == Kind::Punct &&
+               tokens_[index - 1].text == "::" &&
+               tokens_[index - 2].kind == Kind::Identifier &&
+               tokens_[index - 2].text == "std";
+    }
+
+    /** Heuristic: identifier at `index` looks like a free-function
+     *  call, not a member access, qualified name, or declaration. */
+    bool looksLikeFreeCall(size_t index) const
+    {
+        const Token *next = at(index + 1);
+        if (next == nullptr || next->kind != Kind::Punct ||
+            next->text != "(")
+            return false;
+        if (index == 0)
+            return true;
+        const Token &prev = tokens_[index - 1];
+        if (prev.kind == Kind::Identifier)
+            return false; // `int rand(...)`: a declaration.
+        if (prev.kind == Kind::Punct &&
+            (prev.text == "." || prev.text == "->" || prev.text == "&" ||
+             prev.text == "*" || prev.text == "~"))
+            return false;
+        if (prev.kind == Kind::Punct && prev.text == "::")
+            return isStdQualified(index);
+        return true;
+    }
+
+    void checkDirectives();
+    void checkWallclock();
+    void checkRawRng();
+    void checkUnordered();
+    void checkHeaderHygiene();
+    void checkParallelFanIn();
+    void checkRngStreamDiscipline(const FlowFacts &flow);
+    void checkFpReductionOrder(const FlowFacts &flow);
+
+    const std::string &path_;
+    const std::vector<Token> &tokens_;
+    RuleSet rules_;
+    std::vector<Diagnostic> diags_;
+};
+
+void
+FileLinter::checkDirectives()
+{
+    for (const Token &token : tokens_) {
+        if (token.kind != Kind::Directive)
+            continue;
+        if (!wallclockSanctioned(path_)) {
+            for (const char *header : {"chrono", "ctime", "sys/time.h"}) {
+                if (directiveIncludes(token.text, header))
+                    report(token.line, "wallclock",
+                           "<" + std::string(header) + ">",
+                           "#include <" + std::string(header) +
+                               "> pulls wall-clock time into code that "
+                               "must derive all inputs from "
+                               "(seed, session, replicate)");
+            }
+        }
+        if (!rawRngSanctioned(path_) &&
+            directiveIncludes(token.text, "random")) {
+            report(token.line, "raw-rng", "<random>",
+                   "#include <random> is banned outside src/sim/rng; "
+                   "draw from xser::Rng / xser::deriveStreamSeed");
+        }
+        if (!fanInSanctioned(path_) &&
+            pathStartsWith(token.text, "pragma omp")) {
+            report(token.line, "parallel-fanin", "omp",
+                   "OpenMP fan-in outside the canonical merge in "
+                   "src/core/parallel_campaign.cc can reorder "
+                   "floating-point reductions");
+        }
+    }
+}
+
+void
+FileLinter::checkWallclock()
+{
+    if (wallclockSanctioned(path_))
+        return;
+    for (size_t i = 0; i < tokens_.size(); ++i) {
+        const Token &token = tokens_[i];
+        if (token.kind != Kind::Identifier)
+            continue;
+        const bool listed = wallclockNames().count(token.text) > 0;
+        const bool qualified_only =
+            (token.text == "time" || token.text == "clock") &&
+            isStdQualified(i);
+        if (!listed && !qualified_only)
+            continue;
+        if (listed && (token.text == "localtime" || token.text == "ctime" ||
+                       token.text == "mktime" || token.text == "asctime" ||
+                       token.text == "gmtime") &&
+            !isStdQualified(i) && !looksLikeFreeCall(i))
+            continue; // e.g. a member or local named like the C API.
+        report(token.line, "wallclock", token.text,
+               "'" + token.text + "' reads wall-clock time or the "
+               "environment; campaign results must be a pure function "
+               "of (seed, session, replicate)");
+    }
+}
+
+void
+FileLinter::checkRawRng()
+{
+    if (rawRngSanctioned(path_))
+        return;
+    for (size_t i = 0; i < tokens_.size(); ++i) {
+        const Token &token = tokens_[i];
+        if (token.kind != Kind::Identifier)
+            continue;
+        const bool listed = rawRngNames().count(token.text) > 0;
+        const bool heuristic =
+            (token.text == "rand" || token.text == "random") &&
+            (isStdQualified(i) || looksLikeFreeCall(i));
+        if (!listed && !heuristic)
+            continue;
+        report(token.line, "raw-rng", token.text,
+               "raw RNG '" + token.text + "' bypasses the deterministic "
+               "stream splitter; all streams must come from xser::Rng / "
+               "xser::deriveStreamSeed (src/sim/rng)");
+    }
+}
+
+void
+FileLinter::checkUnordered()
+{
+    if (!inOrderSensitiveDir(path_))
+        return;
+    // Pass 1: flag declarations and collect declared variable names.
+    std::unordered_set<std::string> variables;
+    for (const UnorderedDecl &decl : collectUnorderedDecls(tokens_)) {
+        report(decl.line, "unordered-decl", decl.type,
+               "std::" + decl.type + " in an order-sensitive subsystem "
+               "(src/{core,sim,rad,mem,trace}); hash order must never "
+               "feed a floating-point reduction -- use an ordered "
+               "container or justify in the allowlist");
+        if (!decl.name.empty())
+            variables.insert(decl.name);
+    }
+    // Pass 2: flag iteration over the collected names.
+    for (size_t i = 0; i < tokens_.size(); ++i) {
+        const Token &token = tokens_[i];
+        if (token.kind != Kind::Identifier ||
+            variables.count(token.text) == 0)
+            continue;
+        const Token *prev = i > 0 ? &tokens_[i - 1] : nullptr;
+        if (prev != nullptr && prev->kind == Kind::Punct &&
+            prev->text == ":") {
+            report(token.line, "unordered-iter", token.text,
+                   "range-for over unordered container '" + token.text +
+                   "' iterates in hash order");
+            continue;
+        }
+        const Token *dot = at(i + 1);
+        const Token *member = at(i + 2);
+        if (dot != nullptr && dot->kind == Kind::Punct &&
+            (dot->text == "." || dot->text == "->") &&
+            member != nullptr && member->kind == Kind::Identifier &&
+            (member->text == "begin" || member->text == "cbegin" ||
+             member->text == "end" || member->text == "cend")) {
+            report(member->line, "unordered-iter", token.text,
+                   "iterator walk over unordered container '" +
+                   token.text + "' visits elements in hash order");
+        }
+    }
+}
+
+void
+FileLinter::checkHeaderHygiene()
+{
+    if (!isHeaderPath(path_))
+        return;
+    bool guarded = false;
+    std::string macro;
+    for (const Token &token : tokens_) {
+        if (token.kind != Kind::Directive)
+            continue;
+        if (token.text == "pragma once") {
+            guarded = true;
+            break;
+        }
+        std::istringstream words(token.text);
+        std::string keyword, name;
+        words >> keyword >> name;
+        if (macro.empty() && keyword == "ifndef") {
+            macro = name;
+            continue;
+        }
+        if (!macro.empty() && keyword == "define" && name == macro) {
+            guarded = true;
+            break;
+        }
+    }
+    if (!guarded)
+        report(1, "header-guard", path_,
+               "header lacks an include guard (#ifndef/#define pair "
+               "or #pragma once)");
+    for (size_t i = 0; i + 1 < tokens_.size(); ++i) {
+        if (tokens_[i].kind == Kind::Identifier &&
+            tokens_[i].text == "using" &&
+            tokens_[i + 1].kind == Kind::Identifier &&
+            tokens_[i + 1].text == "namespace") {
+            report(tokens_[i].line, "header-using-namespace",
+                   "using-namespace",
+                   "'using namespace' in a header leaks into every "
+                   "includer");
+        }
+    }
+}
+
+void
+FileLinter::checkParallelFanIn()
+{
+    if (fanInSanctioned(path_))
+        return;
+    for (size_t i = 0; i < tokens_.size(); ++i) {
+        const Token &token = tokens_[i];
+        if (token.kind != Kind::Identifier ||
+            fanInNames().count(token.text) == 0)
+            continue;
+        if (!isStdQualified(i))
+            continue; // Only std::-qualified uses; locals may share
+                      // these names.
+        if (token.text == "thread") {
+            const Token *sep = at(i + 1);
+            const Token *member = at(i + 2);
+            if (sep != nullptr && sep->kind == Kind::Punct &&
+                sep->text == "::" && member != nullptr &&
+                member->text == "hardware_concurrency")
+                continue; // Sizing a worker pool is not fan-in.
+        }
+        report(token.line, "parallel-fanin", token.text,
+               "'std::" + token.text + "' outside "
+               "src/core/parallel_campaign.cc: the simulation core must "
+               "stay single-threaded so merge order is fixed and no "
+               "floating-point reduction depends on scheduling");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flow rule: rng-stream-discipline.
+// ---------------------------------------------------------------------
+
+namespace {
+
+enum class SeedKind { Default, Literal, Derived, Fork, SeedVar, Other };
+
+struct RngDecl
+{
+    std::string name;
+    size_t index = 0;    ///< Token index of the variable name.
+    size_t endOfScope = 0; ///< Token index where the decl dies.
+    int line = 0;
+    SeedKind seed = SeedKind::Default;
+    BraceKind context = BraceKind::Block;
+};
+
+/** Classify the seed expression tokens [begin, end). */
+SeedKind
+classifySeed(const std::vector<Token> &tokens, size_t begin, size_t end)
+{
+    if (begin >= end)
+        return SeedKind::Default;
+    bool any_number = false;
+    bool any_identifier = false;
+    for (size_t i = begin; i < end; ++i) {
+        const Token &token = tokens[i];
+        if (token.kind == Kind::Number)
+            any_number = true;
+        if (token.kind != Kind::Identifier)
+            continue;
+        any_identifier = true;
+        if (token.text == "deriveStreamSeed")
+            return SeedKind::Derived;
+        if (token.text == "fork")
+            return SeedKind::Fork;
+        if (lowercase(token.text).find("seed") != std::string::npos)
+            return SeedKind::SeedVar;
+    }
+    if (any_number && !any_identifier)
+        return SeedKind::Literal;
+    return any_identifier ? SeedKind::Other : SeedKind::Default;
+}
+
+} // namespace
+
+void
+FileLinter::checkRngStreamDiscipline(const FlowFacts &flow)
+{
+    if (!rngDisciplineApplies(path_))
+        return;
+
+    // Collect Rng variable declarations with their seed provenance.
+    std::vector<RngDecl> decls;
+    std::vector<size_t> open_braces;
+    std::map<size_t, size_t> scope_end; // decl index -> close index
+    for (size_t i = 0; i < tokens_.size(); ++i) {
+        if (tokens_[i].kind == Kind::Punct) {
+            if (tokens_[i].text == "{")
+                open_braces.push_back(i);
+            else if (tokens_[i].text == "}" && !open_braces.empty())
+                open_braces.pop_back();
+            continue;
+        }
+        if (tokens_[i].kind != Kind::Identifier ||
+            tokens_[i].text != "Rng")
+            continue;
+        // Skip forward declarations and non-declaration mentions.
+        const Token *prev = i > 0 ? &tokens_[i - 1] : nullptr;
+        if (prev != nullptr && prev->kind == Kind::Identifier &&
+            (prev->text == "class" || prev->text == "struct"))
+            continue;
+        const Token *next = at(i + 1);
+        if (next == nullptr)
+            continue;
+        // `Rng &x` / `Rng *x`: reference or pointer, no construction.
+        if (next->kind == Kind::Punct &&
+            (next->text == "&" || next->text == "*"))
+            continue;
+        if (next->kind != Kind::Identifier)
+            continue;
+        const size_t name_index = i + 1;
+        const Token *after = at(name_index + 1);
+        if (after == nullptr || after->kind != Kind::Punct)
+            continue;
+        RngDecl decl;
+        decl.name = next->text;
+        decl.index = name_index;
+        decl.line = next->line;
+        decl.context = flow.contextAt(i);
+        decl.endOfScope = open_braces.empty()
+                              ? tokens_.size()
+                              : flow.match(open_braces.back());
+        if (after->text == "(" || after->text == "{") {
+            const size_t close = flow.match(name_index + 1);
+            // `Rng name(Type arg)` in a class/namespace context is a
+            // function declaration returning Rng, not a construction;
+            // classifySeed treats unknown identifiers as Other (OK).
+            decl.seed =
+                classifySeed(tokens_, name_index + 2, close);
+            if (decl.seed == SeedKind::Default && close > name_index + 2)
+                decl.seed = SeedKind::Other;
+        } else if (after->text == "=") {
+            size_t j = name_index + 2;
+            while (j < tokens_.size() &&
+                   !(tokens_[j].kind == Kind::Punct &&
+                     tokens_[j].text == ";"))
+                ++j;
+            decl.seed = classifySeed(tokens_, name_index + 2, j);
+        } else if (after->text == ";") {
+            decl.seed = SeedKind::Default;
+        } else {
+            continue; // parameter (`Rng rng,` / `Rng rng)`) etc.
+        }
+        decls.push_back(decl);
+    }
+
+    for (const RngDecl &decl : decls) {
+        if (decl.seed == SeedKind::Literal)
+            report(decl.line, "rng-stream-discipline", decl.name,
+                   "Rng '" + decl.name + "' is seeded with a literal "
+                   "constant; simulation streams must derive from "
+                   "deriveStreamSeed(seed, session, replicate) or a "
+                   "fork of a coordinate-derived parent stream");
+        if (decl.seed == SeedKind::Default &&
+            decl.context == BraceKind::Block)
+            report(decl.line, "rng-stream-discipline", decl.name,
+                   "Rng '" + decl.name + "' is default-constructed in "
+                   "function scope, so every run draws the same fixed "
+                   "stream; seed it from deriveStreamSeed or fork a "
+                   "parent stream");
+    }
+
+    // Hoisting: an engine constructed before a session/replicate loop
+    // and drawn from inside it is shared across coordinates.
+    for (const LoopRegion &loop : flow.loops()) {
+        if (!loop.coordinate)
+            continue;
+        for (const RngDecl &decl : decls) {
+            if (decl.index >= loop.headerStart ||
+                decl.endOfScope <= loop.headerStart)
+                continue; // declared later, or already out of scope
+            bool reassigned = false;
+            for (size_t i = loop.bodyStart;
+                 i < loop.bodyEnd && i < tokens_.size(); ++i) {
+                if (tokens_[i].kind != Kind::Identifier ||
+                    tokens_[i].text != decl.name)
+                    continue;
+                const Token *next = at(i + 1);
+                if (next != nullptr && next->kind == Kind::Punct &&
+                    next->text == "=") {
+                    reassigned = true; // re-seeded per iteration
+                    break;
+                }
+                const Token *dot = next;
+                const Token *member = at(i + 2);
+                if (dot != nullptr && dot->kind == Kind::Punct &&
+                    (dot->text == "." || dot->text == "->") &&
+                    member != nullptr &&
+                    member->text == "fork")
+                    continue; // per-iteration fork is the sanctioned use
+                report(tokens_[i].line, "rng-stream-discipline",
+                       decl.name,
+                       "Rng '" + decl.name + "' was constructed before "
+                       "this session/replicate loop (line " +
+                       std::to_string(decl.line) + ") and is drawn "
+                       "from inside it, sharing one stream across "
+                       "coordinates; results then depend on iteration "
+                       "order -- derive a per-coordinate stream via "
+                       "deriveStreamSeed or fork inside the loop");
+                break;
+            }
+            (void)reassigned;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flow rule: fp-reduction-order.
+// ---------------------------------------------------------------------
+
+void
+FileLinter::checkFpReductionOrder(const FlowFacts &flow)
+{
+    if (fpReductionSanctioned(path_))
+        return;
+
+    // Declared unordered containers (including parameters).
+    std::set<std::string> unordered_vars;
+    for (const UnorderedDecl &decl : collectUnorderedDecls(tokens_))
+        if (!decl.name.empty())
+            unordered_vars.insert(decl.name);
+    if (unordered_vars.empty())
+        return;
+
+    // Float-typed variables declared in this file.
+    std::set<std::string> float_vars;
+    for (size_t i = 0; i + 1 < tokens_.size(); ++i) {
+        if (tokens_[i].kind != Kind::Identifier)
+            continue;
+        if (tokens_[i].text == "double" || tokens_[i].text == "float") {
+            size_t j = i + 1;
+            while (j < tokens_.size() && tokens_[j].kind == Kind::Punct &&
+                   (tokens_[j].text == "&" || tokens_[j].text == "*"))
+                ++j;
+            if (j < tokens_.size() &&
+                tokens_[j].kind == Kind::Identifier)
+                float_vars.insert(tokens_[j].text);
+        }
+        if (tokens_[i].text == "auto" && i + 3 < tokens_.size() &&
+            tokens_[i + 1].kind == Kind::Identifier &&
+            tokens_[i + 2].kind == Kind::Punct &&
+            tokens_[i + 2].text == "=" &&
+            tokens_[i + 3].kind == Kind::Number &&
+            tokens_[i + 3].text.find('.') != std::string::npos)
+            float_vars.insert(tokens_[i + 1].text);
+    }
+
+    auto isFloatAccumulation = [&](size_t lhs, size_t rhs_begin) {
+        if (float_vars.count(tokens_[lhs].text))
+            return true;
+        for (size_t j = rhs_begin; j < tokens_.size(); ++j) {
+            if (tokens_[j].kind == Kind::Punct &&
+                (tokens_[j].text == ";" || tokens_[j].text == "}"))
+                break;
+            if (tokens_[j].kind == Kind::Number &&
+                tokens_[j].text.find('.') != std::string::npos)
+                return true;
+        }
+        return false;
+    };
+
+    for (const LoopRegion &loop : flow.loops()) {
+        if (!loop.rangeFor ||
+            unordered_vars.count(loop.sourceRoot) == 0)
+            continue;
+        for (size_t i = loop.bodyStart;
+             i + 2 < tokens_.size() && i < loop.bodyEnd; ++i) {
+            if (tokens_[i].kind != Kind::Identifier)
+                continue;
+            const Token &op1 = tokens_[i + 1];
+            const Token &op2 = tokens_[i + 2];
+            const bool compound =
+                op1.kind == Kind::Punct && op2.kind == Kind::Punct &&
+                (op1.text == "+" || op1.text == "-") && op2.text == "=";
+            if (!compound || !isFloatAccumulation(i, i + 3))
+                continue;
+            report(tokens_[i].line, "fp-reduction-order",
+                   loop.sourceRoot,
+                   "floating-point accumulation into '" +
+                       tokens_[i].text + "' iterates hash-ordered "
+                       "container '" + loop.sourceRoot + "'; float "
+                       "addition does not commute bitwise, so the "
+                       "reduction must run in canonical order (ordered "
+                       "container, sorted keys, or the Chan merge in "
+                       "parallel_campaign.cc)");
+        }
+    }
+
+    // std::accumulate over an unordered container's iterators.
+    for (size_t i = 0; i + 1 < tokens_.size(); ++i) {
+        if (tokens_[i].kind != Kind::Identifier ||
+            tokens_[i].text != "accumulate")
+            continue;
+        if (tokens_[i + 1].kind != Kind::Punct ||
+            tokens_[i + 1].text != "(")
+            continue;
+        const size_t close = flow.match(i + 1);
+        for (size_t j = i + 2; j < close && j < tokens_.size(); ++j) {
+            if (tokens_[j].kind == Kind::Identifier &&
+                unordered_vars.count(tokens_[j].text)) {
+                report(tokens_[j].line, "fp-reduction-order",
+                       tokens_[j].text,
+                       "std::accumulate over hash-ordered container '" +
+                           tokens_[j].text + "' reduces in hash order; "
+                           "use an ordered container or sort the keys "
+                           "first");
+                break;
+            }
+        }
+    }
+}
+
+std::vector<Diagnostic>
+FileLinter::run()
+{
+    const bool classic = rules_ != RuleSet::Semantic;
+    const bool semantic = rules_ != RuleSet::Classic;
+    if (classic) {
+        checkDirectives();
+        checkWallclock();
+        checkRawRng();
+        checkUnordered();
+        checkHeaderHygiene();
+        checkParallelFanIn();
+    }
+    if (semantic) {
+        const FlowFacts flow(tokens_);
+        checkRngStreamDiscipline(flow);
+        checkFpReductionOrder(flow);
+    }
+    std::sort(diags_.begin(), diags_.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.rule != b.rule)
+                      return a.rule < b.rule;
+                  return a.token < b.token;
+              });
+    return std::move(diags_);
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+lintSource(const std::string &rel_path, const std::string &content,
+           RuleSet rules)
+{
+    const std::vector<Token> tokens = tokenize(content);
+    return FileLinter(rel_path, tokens, rules).run();
+}
+
+} // namespace xser::lint

@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Tokenizer implementation: phase-1/2 pre-pass (trigraphs, splices),
+ * digraph mapping, comment/string stripping, directive capture.
+ */
+
+#include "lint/token.hh"
+
+#include <cctype>
+
+namespace xser::lint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Trigraph replacement for `??c`; '\0' when `c` ends no trigraph. */
+char
+trigraphChar(char c)
+{
+    switch (c) {
+      case '=': return '#';
+      case '/': return '\\';
+      case '\'': return '^';
+      case '(': return '[';
+      case ')': return ']';
+      case '!': return '|';
+      case '<': return '{';
+      case '>': return '}';
+      case '-': return '~';
+      default: return '\0';
+    }
+}
+
+/**
+ * Approximate translation phases 1-2: decode trigraphs, then remove
+ * backslash-newline splices (including a spliced `??/`), keeping a
+ * per-character table of original physical lines.
+ */
+struct Prepared
+{
+    std::string text;
+    std::vector<int> line; ///< line.size() == text.size()
+};
+
+Prepared
+prepare(const std::string &src)
+{
+    Prepared out;
+    out.text.reserve(src.size());
+    out.line.reserve(src.size());
+    int line = 1;
+    size_t i = 0;
+    while (i < src.size()) {
+        char c = src[i];
+        size_t consumed = 1;
+        if (c == '?' && i + 2 < src.size() && src[i + 1] == '?') {
+            const char mapped = trigraphChar(src[i + 2]);
+            if (mapped != '\0') {
+                c = mapped;
+                consumed = 3;
+            }
+        }
+        if (c == '\\') {
+            // Phase 2: splice backslash-newline (and \r\n) pairs.
+            size_t j = i + consumed;
+            size_t skip = 0;
+            if (j < src.size() && src[j] == '\r' && j + 1 < src.size() &&
+                src[j + 1] == '\n')
+                skip = 2;
+            else if (j < src.size() && src[j] == '\n')
+                skip = 1;
+            if (skip != 0) {
+                i = j + skip;
+                ++line;
+                continue;
+            }
+        }
+        out.text.push_back(c);
+        out.line.push_back(line);
+        if (c == '\n')
+            ++line;
+        i += consumed;
+    }
+    return out;
+}
+
+class Tokenizer
+{
+  public:
+    explicit Tokenizer(const std::string &src) : prep_(prepare(src)) {}
+
+    std::vector<Token> run();
+
+  private:
+    char peek(size_t ahead = 0) const
+    {
+        return pos_ + ahead < prep_.text.size()
+                   ? prep_.text[pos_ + ahead]
+                   : '\0';
+    }
+
+    int lineAt(size_t pos) const
+    {
+        if (prep_.line.empty())
+            return 1;
+        if (pos >= prep_.line.size())
+            return prep_.line.back();
+        return prep_.line[pos];
+    }
+
+    int line() const { return lineAt(pos_); }
+
+    void advance()
+    {
+        if (prep_.text[pos_] == '\n')
+            at_line_start_ = true;
+        ++pos_;
+    }
+
+    void skipBlockComment();
+    void skipLineComment();
+    void skipQuoted(char quote);
+    void skipRawString();
+    void lexDirective(std::vector<Token> &out);
+
+    Prepared prep_;
+    size_t pos_ = 0;
+    bool at_line_start_ = true;
+};
+
+void
+Tokenizer::skipBlockComment()
+{
+    advance();
+    advance();
+    while (pos_ < prep_.text.size()) {
+        if (peek() == '*' && peek(1) == '/') {
+            advance();
+            advance();
+            return;
+        }
+        advance();
+    }
+}
+
+void
+Tokenizer::skipLineComment()
+{
+    while (pos_ < prep_.text.size() && peek() != '\n')
+        advance();
+}
+
+void
+Tokenizer::skipQuoted(char quote)
+{
+    advance();
+    while (pos_ < prep_.text.size()) {
+        if (peek() == '\\') {
+            advance();
+            if (pos_ < prep_.text.size())
+                advance();
+            continue;
+        }
+        if (peek() == quote || peek() == '\n') {
+            advance();
+            return;
+        }
+        advance();
+    }
+}
+
+void
+Tokenizer::skipRawString()
+{
+    // At entry pos_ is on the opening quote of R"delim( ... )delim".
+    advance();
+    std::string delim;
+    while (pos_ < prep_.text.size() && peek() != '(' && peek() != '\n' &&
+           delim.size() <= 16) {
+        delim.push_back(peek());
+        advance();
+    }
+    if (peek() != '(')
+        return; // malformed raw string; give up at the delimiter
+    const std::string close = ")" + delim + "\"";
+    while (pos_ < prep_.text.size()) {
+        if (prep_.text.compare(pos_, close.size(), close) == 0) {
+            for (size_t k = 0; k < close.size(); ++k)
+                advance();
+            return;
+        }
+        advance();
+    }
+}
+
+void
+Tokenizer::lexDirective(std::vector<Token> &out)
+{
+    const int start_line = line();
+    advance(); // consume '#' (or the digraph/trigraph that mapped to it)
+    std::string text;
+    while (pos_ < prep_.text.size()) {
+        const char c = peek();
+        if (c == '\n')
+            break;
+        if (c == '/' && peek(1) == '/') {
+            skipLineComment();
+            break;
+        }
+        if (c == '/' && peek(1) == '*') {
+            skipBlockComment();
+            text.push_back(' ');
+            continue;
+        }
+        text.push_back(c);
+        advance();
+    }
+    out.push_back({Kind::Directive, normalizeSpace(text), start_line});
+}
+
+std::vector<Token>
+Tokenizer::run()
+{
+    std::vector<Token> out;
+    while (pos_ < prep_.text.size()) {
+        const char c = peek();
+        if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+            continue;
+        }
+        if (c == '/' && peek(1) == '/') {
+            skipLineComment();
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            skipBlockComment();
+            continue;
+        }
+        // Directives: '#' or its digraph spelling '%:' at line start.
+        if (c == '#' && at_line_start_) {
+            lexDirective(out);
+            continue;
+        }
+        if (c == '%' && peek(1) == ':' && at_line_start_) {
+            advance(); // extra char of the two-character spelling
+            lexDirective(out);
+            continue;
+        }
+        at_line_start_ = false;
+        if (c == '"') {
+            skipQuoted('"');
+            continue;
+        }
+        if (c == '\'') {
+            skipQuoted('\'');
+            continue;
+        }
+        if (isIdentStart(c)) {
+            std::string word;
+            const int start_line = line();
+            while (pos_ < prep_.text.size() && isIdentChar(peek())) {
+                word.push_back(peek());
+                advance();
+            }
+            if (peek() == '"') {
+                // Only the standard raw-string prefixes open a raw
+                // string; any other identifier is a macro or literal
+                // operand followed by an ordinary string.
+                const bool raw = word == "R" || word == "uR" ||
+                                 word == "u8R" || word == "UR" ||
+                                 word == "LR";
+                if (raw) {
+                    skipRawString();
+                    continue;
+                }
+                if (word == "u8" || word == "u" || word == "U" ||
+                    word == "L") {
+                    skipQuoted('"');
+                    continue;
+                }
+                out.push_back({Kind::Identifier, word, start_line});
+                skipQuoted('"');
+                continue;
+            }
+            if (peek() == '\'' &&
+                (word == "u8" || word == "u" || word == "U" ||
+                 word == "L")) {
+                skipQuoted('\'');
+                continue;
+            }
+            out.push_back({Kind::Identifier, word, start_line});
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(
+                static_cast<unsigned char>(peek(1))))) {
+            std::string num;
+            const int start_line = line();
+            while (pos_ < prep_.text.size()) {
+                const char d = peek();
+                if (isIdentChar(d) || d == '.' ||
+                    (d == '\'' && isIdentChar(peek(1)))) {
+                    num.push_back(d);
+                    advance();
+                    continue;
+                }
+                if ((d == '+' || d == '-') && !num.empty()) {
+                    const char e = num.back();
+                    if (e == 'e' || e == 'E' || e == 'p' || e == 'P') {
+                        num.push_back(d);
+                        advance();
+                        continue;
+                    }
+                }
+                break;
+            }
+            out.push_back({Kind::Number, num, start_line});
+            continue;
+        }
+        // Punctuation; keep "::" and "->" whole, map digraphs.
+        if (c == ':' && peek(1) == ':') {
+            out.push_back({Kind::Punct, "::", line()});
+            advance();
+            advance();
+            continue;
+        }
+        if (c == '-' && peek(1) == '>') {
+            out.push_back({Kind::Punct, "->", line()});
+            advance();
+            advance();
+            continue;
+        }
+        if (c == '<' && peek(1) == '%') {
+            out.push_back({Kind::Punct, "{", line()});
+            advance();
+            advance();
+            continue;
+        }
+        if (c == '%' && peek(1) == '>') {
+            out.push_back({Kind::Punct, "}", line()});
+            advance();
+            advance();
+            continue;
+        }
+        if (c == '<' && peek(1) == ':') {
+            // <:: followed by neither ':' nor '>' keeps '<' alone, so
+            // `vector<::ns::T>` parses as '<' '::' not '[' ':'.
+            if (peek(2) == ':' && peek(3) != ':' && peek(3) != '>') {
+                out.push_back({Kind::Punct, "<", line()});
+                advance();
+                continue;
+            }
+            out.push_back({Kind::Punct, "[", line()});
+            advance();
+            advance();
+            continue;
+        }
+        if (c == ':' && peek(1) == '>') {
+            out.push_back({Kind::Punct, "]", line()});
+            advance();
+            advance();
+            continue;
+        }
+        out.push_back({Kind::Punct, std::string(1, c), line()});
+        advance();
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+normalizeSpace(const std::string &text)
+{
+    std::string out;
+    bool pending_space = false;
+    for (char c : text) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            pending_space = !out.empty();
+        } else {
+            if (pending_space)
+                out.push_back(' ');
+            pending_space = false;
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::vector<Token>
+tokenize(const std::string &source)
+{
+    return Tokenizer(source).run();
+}
+
+} // namespace xser::lint

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Token layer of the xser-lint semantic analyzer.
+ *
+ * The tokenizer is preprocessor-aware but deliberately not a compiler
+ * front end: comments, string literals, character literals, and raw
+ * strings are stripped; preprocessor directives are captured whole (one
+ * token per logical line, whitespace-normalized); everything else
+ * becomes identifier, number, or punctuation tokens. "::" and "->" are
+ * kept as single tokens because the rules reason about qualification
+ * and member access.
+ *
+ * Translation phases 1 and 2 are approximated up front: trigraph
+ * sequences are mapped to their replacement characters and
+ * backslash-newline splices are removed (so identifiers, directives,
+ * and punctuation split across physical lines tokenize as one logical
+ * token), with a position->line table preserving physical line numbers
+ * for diagnostics. Digraphs (`<%`, `%>`, `<:`, `:>`, `%:`) map to their
+ * primary spellings, including the `<::` disambiguation rule. Raw
+ * string literals honour custom delimiters (`R"xyz(...)xyz"`) and only
+ * the standard prefixes (R, uR, u8R, UR, LR) start one -- an arbitrary
+ * identifier ending in R followed by a quote is an ordinary string.
+ */
+
+#ifndef XSER_TOOLS_LINT_TOKEN_HH
+#define XSER_TOOLS_LINT_TOKEN_HH
+
+#include <string>
+#include <vector>
+
+namespace xser::lint {
+
+/** Lexical class of a token. */
+enum class Kind { Identifier, Number, Punct, Directive };
+
+/** One lexed token with its 1-based physical source line. */
+struct Token
+{
+    Kind kind;
+    std::string text;
+    int line;
+};
+
+/** Tokenize a full translation unit. */
+std::vector<Token> tokenize(const std::string &source);
+
+/** Collapse whitespace runs to single spaces and trim both ends. */
+std::string normalizeSpace(const std::string &text);
+
+} // namespace xser::lint
+
+#endif // XSER_TOOLS_LINT_TOKEN_HH
