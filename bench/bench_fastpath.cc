@@ -41,6 +41,16 @@ using namespace xser;
 constexpr double referenceSeedSeconds = 142.28;
 constexpr double referenceCurrentSeconds = 20.84;
 
+/*
+ * Recorded measurement of the checkpoint/fork engine on its own gate
+ * (bench_checkpoint: 2 cliff-voltage sessions x 8 replicates, 1
+ * worker): 17.90 s with the golden prefix replayed per replicate vs
+ * 7.84 s forking one prefix snapshot per session. Documentation of
+ * the trajectory, not an input to this binary's gate.
+ */
+constexpr double referenceCheckpointOffSeconds = 17.90;
+constexpr double referenceCheckpointOnSeconds = 7.84;
+
 /** One timed end-to-end campaign run. */
 struct Timed {
     double seconds = 0.0;
@@ -136,6 +146,18 @@ main(int argc, char **argv)
          << ",\n"
          << "    \"speedup\": "
          << referenceSeedSeconds / referenceCurrentSeconds << "\n"
+         << "  },\n"
+         << "  \"reference_checkpoint\": {\n"
+         << "    \"bench\": \"bench_checkpoint cliff-voltage sweep, "
+            "2 sessions x 8 replicates, 1 worker\",\n"
+         << "    \"checkpoint_off_seconds\": "
+         << referenceCheckpointOffSeconds << ",\n"
+         << "    \"checkpoint_on_seconds\": "
+         << referenceCheckpointOnSeconds << ",\n"
+         << "    \"speedup\": "
+         << referenceCheckpointOffSeconds /
+                referenceCheckpointOnSeconds
+         << "\n"
          << "  }\n"
          << "}\n";
     json.close();

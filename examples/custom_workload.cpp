@@ -116,6 +116,23 @@ class MatVecWorkload : public workloads::Workload
         return output;
     }
 
+    void
+    onSnapshot(xser::SnapshotWriter &writer) const override
+    {
+        matrix_.snapshot(writer);
+        x_.snapshot(writer);
+        y_.snapshot(writer);
+    }
+
+    void
+    onRestore(xser::SnapshotReader &reader,
+              xser::mem::MemorySystem &memory) override
+    {
+        matrix_.restore(reader, memory);
+        x_.restore(reader, memory);
+        y_.restore(reader, memory);
+    }
+
   private:
     static constexpr size_t n = 160;
     static constexpr unsigned steps = 6;

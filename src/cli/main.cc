@@ -10,8 +10,8 @@
  *                [--fluence 2e10] [--warmup 8] [--seed 7]
  *                [--trace out.xtrace] [--csv out.csv]
  *   xser campaign [--scale 0.22] [--seed 7] [--jobs 8|auto]
- *                 [--replicates 4] [--trace out.xtrace]
- *                 [--csv out.csv]
+ *                 [--replicates 4] [--checkpoint on|off]
+ *                 [--trace out.xtrace] [--csv out.csv]
  *   xser tradeoff [--devices 50000] [--checkpoint 30] [--altitude 0]
  *                 [--budget 10]
  */
@@ -40,8 +40,8 @@ namespace {
 
 using namespace xser;
 
-int
-usage()
+void
+printUsage()
 {
     std::printf(
         "usage: xser <command> [options]\n"
@@ -61,9 +61,12 @@ usage()
         "                  --jobs N|auto --replicates R\n"
         "                  --fastpath on|off (off = reference paths;\n"
         "                  bit-identical results either way)\n"
+        "                  --checkpoint on|off (off = replay the\n"
+        "                  golden prefix per replicate instead of\n"
+        "                  forking it; bit-identical either way)\n"
         "                  --trace FILE --trace-buffer-events N\n"
         "                  (results and trace files bit-identical for\n"
-        "                  any --jobs; see README 'Parallel execution')\n"
+        "                  any --jobs; see README 'Running campaigns')\n"
         "  tradeoff      energy-vs-SDC policy curve for a fleet\n"
         "                  --devices N --checkpoint SEC\n"
         "                  --altitude M --budget SDCS_PER_YEAR\n"
@@ -71,6 +74,12 @@ usage()
         "                  --workload NAME --trials N --flips K\n"
         "                  --burst SIZE\n"
         "                  --seed S\n");
+}
+
+int
+usage()
+{
+    printUsage();
     return 2;
 }
 
@@ -131,17 +140,24 @@ makeTraceWriter(const cli::Args &args)
     return std::make_unique<trace::TraceWriter>(path);
 }
 
-/** Parse --fastpath on|off (default on). */
+/** Parse an on|off option with a default (fatal on anything else). */
 bool
-fastPathFlag(const cli::Args &args)
+onOffFlag(const cli::Args &args, const char *name)
 {
-    const std::string value = args.get("fastpath", "on");
+    const std::string value = args.get(name, "on");
     if (value == "on")
         return true;
     if (value == "off")
         return false;
-    fatal("option --fastpath expects 'on' or 'off'");
+    fatal(msg("option --", name, " expects 'on' or 'off'"));
     return true;
+}
+
+/** Parse --fastpath on|off (default on). */
+bool
+fastPathFlag(const cli::Args &args)
+{
+    return onOffFlag(args, "fastpath");
 }
 
 int
@@ -245,6 +261,7 @@ cmdCampaign(const cli::Args &args)
     run.replicates =
         static_cast<unsigned>(args.getUint("replicates", 1));
     run.seed = seed;
+    run.checkpoint = onOffFlag(args, "checkpoint");
     run.traceBufferEvents =
         args.getCount("trace-buffer-events",
                       trace::TraceBuffer::defaultMaxEvents, 1,
@@ -369,6 +386,12 @@ main(int argc, char **argv)
 {
     const cli::Args args = cli::Args::parse(argc, argv);
     const std::string &command = args.command();
+    // `--help` parses as an option (no command), `help`/`-h` as a
+    // command; all three print the usage text and exit 0.
+    if (command == "help" || command == "-h" || args.has("help")) {
+        printUsage();
+        return 0;
+    }
     if (command == "spec")
         return cmdSpec();
     if (command == "characterize")

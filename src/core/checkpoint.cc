@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Checkpoint envelope implementation.
+ */
+
+#include "core/checkpoint.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace xser::core {
+
+namespace {
+
+constexpr char checkpointMagic[8] = {'X', 'S', 'E', 'R',
+                                     'C', 'K', 'P', 'T'};
+constexpr size_t headerBytes = 40;
+
+uint64_t
+fnv1a(const uint8_t *data, size_t size)
+{
+    uint64_t hash = 0xcbf29ce484222325ULL;
+    for (size_t i = 0; i < size; ++i) {
+        hash ^= data[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t value)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>((value >> (8 * i)) & 0xffu));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t value)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        out.push_back(
+            static_cast<uint8_t>((value >> (8 * i)) & 0xffull));
+}
+
+uint32_t
+getU32(const uint8_t *data)
+{
+    uint32_t value = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        value |= static_cast<uint32_t>(data[i]) << (8 * i);
+    return value;
+}
+
+uint64_t
+getU64(const uint8_t *data)
+{
+    uint64_t value = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        value |= static_cast<uint64_t>(data[i]) << (8 * i);
+    return value;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+sealCheckpoint(uint32_t session_index, uint64_t config_hash,
+               std::vector<uint8_t> payload)
+{
+    std::vector<uint8_t> bytes;
+    bytes.reserve(headerBytes + payload.size());
+    bytes.insert(bytes.end(), checkpointMagic, checkpointMagic + 8);
+    putU32(bytes, checkpointVersion);
+    putU32(bytes, session_index);
+    putU64(bytes, config_hash);
+    putU64(bytes, payload.size());
+    putU64(bytes, fnv1a(payload.data(), payload.size()));
+    bytes.insert(bytes.end(), payload.begin(), payload.end());
+    return bytes;
+}
+
+CheckpointView
+openCheckpoint(const std::vector<uint8_t> &bytes)
+{
+    CheckpointView view;
+    if (bytes.size() < headerBytes) {
+        view.error = msg("checkpoint too short: ", bytes.size(),
+                         " bytes, header needs ", headerBytes);
+        return view;
+    }
+    if (std::memcmp(bytes.data(), checkpointMagic, 8) != 0) {
+        view.error = "bad checkpoint magic (not an XSERCKPT blob)";
+        return view;
+    }
+    const uint32_t version = getU32(bytes.data() + 8);
+    if (version != checkpointVersion) {
+        view.error = msg("unsupported checkpoint version ", version,
+                         " (expected ", checkpointVersion, ")");
+        return view;
+    }
+    view.sessionIndex = getU32(bytes.data() + 12);
+    view.configHash = getU64(bytes.data() + 16);
+    const uint64_t payload_size = getU64(bytes.data() + 24);
+    const uint64_t checksum = getU64(bytes.data() + 32);
+    if (payload_size != bytes.size() - headerBytes) {
+        view.error = msg("checkpoint payload size mismatch: header "
+                         "declares ", payload_size, " bytes, blob has ",
+                         bytes.size() - headerBytes);
+        return view;
+    }
+    const uint8_t *payload = bytes.data() + headerBytes;
+    const uint64_t actual =
+        fnv1a(payload, static_cast<size_t>(payload_size));
+    if (actual != checksum) {
+        view.error = msg("checkpoint payload checksum mismatch: "
+                         "expected ", checksum, ", computed ", actual);
+        return view;
+    }
+    view.ok = true;
+    view.payload = payload;
+    view.payloadSize = static_cast<size_t>(payload_size);
+    return view;
+}
+
+} // namespace xser::core

@@ -21,6 +21,7 @@
 
 #include "core/logic_susceptibility.hh"
 #include "core/outcome.hh"
+#include "sim/snapshot.hh"
 #include "workloads/workload.hh"
 
 namespace xser::core {
@@ -65,6 +66,32 @@ class ControlPc
      */
     EventCounts eventsOf(const RunRecord &record,
                          const LogicEvents &logic_events) const;
+
+    /**
+     * Serialize the golden store (the map is ordered, so iteration is
+     * deterministic by construction).
+     */
+    void
+    snapshot(SnapshotWriter &writer) const
+    {
+        writer.u64(golden_.size());
+        for (const auto &[name, signature] : golden_) {
+            writer.str(name);
+            writer.u64Vector(signature);
+        }
+    }
+
+    /** Restore a golden store captured by snapshot(). */
+    void
+    restore(SnapshotReader &reader)
+    {
+        golden_.clear();
+        const uint64_t entries = reader.u64();
+        for (uint64_t i = 0; i < entries; ++i) {
+            std::string name = reader.str();
+            reader.u64Vector(golden_[std::move(name)]);
+        }
+    }
 
   private:
     std::map<std::string, std::vector<uint64_t>> golden_;

@@ -11,9 +11,11 @@
 #include <memory>
 #include <thread>
 
+#include "core/checkpoint.hh"
 #include "core/test_session.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
+#include "sim/snapshot.hh"
 #include "trace/trace_writer.hh"
 
 namespace xser::core {
@@ -137,7 +139,9 @@ ParallelCampaignRunner::ParallelCampaignRunner(
 SessionResult
 ParallelCampaignRunner::runUnit(size_t session_index,
                                 unsigned replicate_index,
-                                trace::TraceBuffer *buffer) const
+                                trace::TraceBuffer *buffer,
+                                const std::vector<uint8_t> *checkpoint)
+    const
 {
     SessionConfig session_config = config_.sessions[session_index];
     // Replicate 0 keeps the configured seed (sequential-compatible);
@@ -149,7 +153,25 @@ ParallelCampaignRunner::runUnit(size_t session_index,
     session_config.traceSink = buffer;
     cpu::XGene2Platform platform(config_.platform);
     TestSession session(&platform, session_config);
-    return session.execute();
+    if (checkpoint == nullptr)
+        return session.execute();
+
+    // Fork path: adopt the session's prefix and run the (seed-
+    // dependent) continuation only. The envelope re-validates even
+    // though we sealed it ourselves moments ago -- the checksum is
+    // cheap next to a session and turns any buffer mix-up into a
+    // loud, attributable failure.
+    const CheckpointView view = openCheckpoint(*checkpoint);
+    if (!view.ok)
+        fatal(msg("refusing checkpoint for session ", session_index,
+                  ": ", view.error));
+    XSER_ASSERT(view.sessionIndex == session_index,
+                "checkpoint/session index mismatch");
+    SnapshotReader reader(view.payload, view.payloadSize);
+    session.restorePrefix(reader);
+    XSER_ASSERT(reader.atEnd(),
+                "checkpoint payload not fully consumed by restore");
+    return session.runContinuation();
 }
 
 std::vector<CampaignResult>
@@ -182,40 +204,68 @@ ParallelCampaignRunner::run(unsigned count,
         }
     }
 
-    // Results land in pre-sized slots keyed by unit index, so worker
+    // Atomic-cursor worker pool over `n` index-keyed tasks; results
+    // always land in pre-sized slots keyed by index, so worker
     // scheduling can never reorder them.
-    std::vector<SessionResult> slots(units);
-    auto work = [&](size_t unit) {
-        const size_t replicate = unit / num_sessions;
-        const size_t session = unit % num_sessions;
-        slots[unit] =
-            runUnit(session, static_cast<unsigned>(replicate),
-                    tracing ? buffers[unit].get() : nullptr);
-    };
-
-    const size_t workers =
-        std::min<size_t>(run_.jobs, units);
-    if (workers <= 1) {
-        for (size_t unit = 0; unit < units; ++unit)
-            work(unit);
-    } else {
+    auto run_pool = [this](size_t n, const auto &task) {
+        const size_t workers = std::min<size_t>(run_.jobs, n);
+        if (workers <= 1) {
+            for (size_t i = 0; i < n; ++i)
+                task(i);
+            return;
+        }
         std::atomic<size_t> cursor{0};
         std::vector<std::thread> pool;
         pool.reserve(workers);
         for (size_t i = 0; i < workers; ++i) {
             pool.emplace_back([&]() {
                 for (;;) {
-                    const size_t unit =
+                    const size_t index =
                         cursor.fetch_add(1, std::memory_order_relaxed);
-                    if (unit >= units)
+                    if (index >= n)
                         return;
-                    work(unit);
+                    task(index);
                 }
             });
         }
         for (auto &thread : pool)
             thread.join();
+    };
+
+    // Phase 1 (checkpoint mode): one golden prefix per session, sealed
+    // into an envelope. The prefix never consumes the session seed
+    // (see TestSession), so one snapshot serves all `count` replicate
+    // continuations -- this is what importance splitting buys: the
+    // seed-independent work is paid num_sessions times instead of
+    // `units` times.
+    std::vector<std::vector<uint8_t>> checkpoints(
+        run_.checkpoint ? num_sessions : 0);
+    if (run_.checkpoint) {
+        const uint64_t config_hash = campaignConfigHash(config_);
+        run_pool(num_sessions, [&](size_t session) {
+            cpu::XGene2Platform platform(config_.platform);
+            TestSession prefix(&platform, config_.sessions[session]);
+            prefix.runPrefix();
+            SnapshotWriter writer;
+            prefix.snapshotPrefix(writer);
+            checkpoints[session] = sealCheckpoint(
+                static_cast<uint32_t>(session), config_hash,
+                writer.take());
+        });
     }
+
+    // Phase 2: the (session, replicate) units -- continuations forked
+    // from the checkpoints, or whole sessions when checkpointing is
+    // off.
+    std::vector<SessionResult> slots(units);
+    run_pool(units, [&](size_t unit) {
+        const size_t replicate = unit / num_sessions;
+        const size_t session = unit % num_sessions;
+        slots[unit] = runUnit(
+            session, static_cast<unsigned>(replicate),
+            tracing ? buffers[unit].get() : nullptr,
+            run_.checkpoint ? &checkpoints[session] : nullptr);
+    });
 
     if (trace_writer != nullptr) {
         // Merge after the pool has drained, in canonical unit order --

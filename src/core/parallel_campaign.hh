@@ -55,6 +55,16 @@ struct ParallelRunConfig {
      * use this to measure buffering cost separately from file I/O).
      */
     bool collectTrace = false;
+    /**
+     * Checkpoint/fork importance splitting (DESIGN.md section 10): take
+     * one prefix snapshot per session and fork every replicate's
+     * continuation from it, instead of replaying the golden prefix per
+     * (session, replicate) unit. Results -- aggregates and trace bytes
+     * -- are bit-identical either way (gated by tests); `false` exists
+     * for verification and for measuring the speedup. Excluded from
+     * campaignConfigHash for exactly that reason.
+     */
+    bool checkpoint = true;
 };
 
 /**
@@ -129,10 +139,16 @@ class ParallelCampaignRunner
     executeAll(trace::TraceWriter *trace_writer = nullptr);
 
   private:
-    /** Run one (session, replicate) unit on a fresh platform. */
+    /**
+     * Run one (session, replicate) unit on a fresh platform. When
+     * `checkpoint` is non-null, the unit restores the session's prefix
+     * from it and runs only the continuation; otherwise it replays the
+     * whole session.
+     */
     SessionResult runUnit(size_t session_index,
                           unsigned replicate_index,
-                          trace::TraceBuffer *buffer) const;
+                          trace::TraceBuffer *buffer,
+                          const std::vector<uint8_t> *checkpoint) const;
 
     /** Execute `count` replicates and return them in index order. */
     std::vector<CampaignResult>

@@ -104,24 +104,157 @@ TestSession::TestSession(cpu::XGene2Platform *platform,
 SessionResult
 TestSession::execute()
 {
+    runPrefix();
+    return runContinuation();
+}
+
+void
+TestSession::runPrefix()
+{
+    XSER_ASSERT(!prefixReady_, "session prefix already ran");
     auto &platform = *platform_;
     auto &memory = platform.memory();
     auto &edac = platform.edac();
 
     platform.applyOperatingPoint(config_.point);
-    // Attach (or detach, when null) the lifecycle trace sink before any
-    // traffic flows, so even warm-up events are observable.
-    trace::TraceSink *trace_sink = config_.traceSink;
-    memory.setTraceSink(trace_sink);
-    edac.setTraceSink(trace_sink);
     edac.clear();
     memory.clearDeliveryCounters();
     memory.clearCycles();
 
+    mem::ScrubberConfig scrub_config = config_.scrub;
+    // The scrub engine shares the PMD clock: its wall-time pass rate
+    // tracks the core frequency (keeps detection efficiency per unit
+    // fluence frequency-consistent, cf. Fig. 7's L2 level).
+    scrub_config.clockScale = config_.point.frequencyHz / 2.4e9;
+    scrubber_ = std::make_unique<mem::Scrubber>(scrub_config, &memory);
+
+    // The prefix quantum hook: no beam exists yet (the golden phase is
+    // beam-off by definition), but clock, scrubber, and front-end
+    // traffic advance exactly as in the measured phase.
+    auto quantum = [&]() {
+        const uint64_t cycles = memory.cyclesAccumulated();
+        memory.clearCycles();
+        const Tick elapsed = platform.advanceForCycles(cycles);
+        scrubber_->advance(elapsed);
+        platform.driveFrontEnd(config_.quantumAccesses /
+                               platform.numCores());
+    };
+
+    // Build the suite and record golden references (beam off).
+    //
+    // Determinism note (the checkpoint contract rests on this): nothing
+    // in this loop consumes the session seed. Workload setup is a pure
+    // function of the workload name; the scrubber and front-end streams
+    // advance from configuration-seeded state (chipSeed); the session's
+    // own RNGs are not constructed until runContinuation(). One prefix
+    // therefore serves every replicate seed.
+    for (const auto &name : config_.workloadNames) {
+        suite_.push_back(workloads::makeWorkload(name));
+        auto &workload = *suite_.back();
+        workloads::RunContext ctx(&memory, quantum,
+                                  config_.quantumAccesses);
+        platform.setWorkloadFootprint(
+            workload.traits().codeFootprintWords,
+            workload.traits().tlbFootprintEntries);
+        workload.setUp(ctx);
+        const Tick start = platform.clock().now();
+        workloads::WorkloadOutput golden = workload.run(ctx);
+        quantum();  // flush residual cycles into the clock
+        control_.setGolden(name, golden);
+        runSeconds_.push_back(
+            ticks::toSeconds(platform.clock().now() - start));
+        activitySum_ += workload.traits().activityFactor;
+    }
+
+    // Drop the warm cache state the setup/golden phase left behind:
+    // the freshly written datasets would otherwise sit L3-resident and
+    // distort early-session detection rates.
+    memory.flushAll();
+    prefixReady_ = true;
+}
+
+void
+TestSession::snapshotPrefix(SnapshotWriter &writer) const
+{
+    XSER_ASSERT(prefixReady_, "snapshotPrefix needs a completed prefix");
+    platform_->snapshot(writer);
+    scrubber_->snapshot(writer);
+    writer.u64(suite_.size());
+    for (const auto &workload : suite_)
+        workload->snapshot(writer);
+    for (const double seconds : runSeconds_)
+        writer.f64(seconds);
+    writer.f64(activitySum_);
+    control_.snapshot(writer);
+}
+
+void
+TestSession::restorePrefix(SnapshotReader &reader)
+{
+    XSER_ASSERT(!prefixReady_, "session prefix already ran");
+    auto &platform = *platform_;
+    auto &memory = platform.memory();
+    auto &edac = platform.edac();
+
+    // Mirror runPrefix()'s entry: the operating point must be applied
+    // before restore so the clock frequency and domain voltages match
+    // the snapshotted run (the platform snapshot carries the clock's
+    // *position*, not its rate). The EDAC reporter is provably empty at
+    // the seam (no beam ran), so it is cleared rather than serialized.
+    platform.applyOperatingPoint(config_.point);
+    edac.clear();
+    memory.clearDeliveryCounters();
+
+    platform.restore(reader);
+
+    mem::ScrubberConfig scrub_config = config_.scrub;
+    scrub_config.clockScale = config_.point.frequencyHz / 2.4e9;
+    scrubber_ = std::make_unique<mem::Scrubber>(scrub_config, &memory);
+    scrubber_->restore(reader);
+
+    const uint64_t workloads = reader.u64();
+    XSER_ASSERT(workloads == config_.workloadNames.size(),
+                "snapshot workload count mismatch restoring session");
+    for (const auto &name : config_.workloadNames) {
+        suite_.push_back(workloads::makeWorkload(name));
+        suite_.back()->restore(reader, memory);
+    }
+    runSeconds_.resize(suite_.size());
+    for (double &seconds : runSeconds_)
+        seconds = reader.f64();
+    activitySum_ = reader.f64();
+    control_.restore(reader);
+    prefixReady_ = true;
+}
+
+SessionResult
+TestSession::runContinuation()
+{
+    XSER_ASSERT(prefixReady_,
+                "runContinuation needs a prefix (run or restored)");
+    prefixReady_ = false;  // single-shot: the run consumes the prefix
+    auto &platform = *platform_;
+    auto &memory = platform.memory();
+    auto &edac = platform.edac();
+    auto &suite = suite_;
+    auto &run_seconds = runSeconds_;
+    ControlPc &control = control_;
+
+    // Attach (or detach, when null) the lifecycle trace sink. The
+    // prefix emits no events -- no corruption exists beam-off, and
+    // clean scrubs/reads record nothing -- so attaching here observes
+    // exactly what attaching before the prefix would have.
+    trace::TraceSink *trace_sink = config_.traceSink;
+    memory.setTraceSink(trace_sink);
+    edac.setTraceSink(trace_sink);
+
     Rng session_rng(config_.seed);
     Rng logic_rng = session_rng.fork("logic");
 
-    // Radiation machinery.
+    // Radiation machinery. The beam is built here, not in the prefix:
+    // its RNG streams derive from the (replicate-specific) session
+    // seed, and construction itself touches no platform state, so a
+    // restored prefix forks into any number of distinct continuations.
     rad::CrossSectionModel xsection;
     {
         const auto &cal = sessionCalibration();
@@ -142,14 +275,8 @@ TestSession::execute()
                          memory.beamTargets());
     beam.setVoltages(config_.point.pmdVolts(), config_.point.socVolts());
 
-    mem::ScrubberConfig scrub_config = config_.scrub;
-    // The scrub engine shares the PMD clock: its wall-time pass rate
-    // tracks the core frequency (keeps detection efficiency per unit
-    // fluence frequency-consistent, cf. Fig. 7's L2 level).
-    scrub_config.clockScale = config_.point.frequencyHz / 2.4e9;
-    mem::Scrubber scrubber(scrub_config, &memory);
+    mem::Scrubber &scrubber = *scrubber_;
     LogicSusceptibilityModel logic(&platform.timing());
-    ControlPc control;
 
     // The quantum hook: convert accumulated access cycles into elapsed
     // simulated time, then deliver beam, scrub, and front-end traffic
@@ -165,33 +292,6 @@ TestSession::execute()
         platform.driveFrontEnd(config_.quantumAccesses /
                                platform.numCores());
     };
-
-    // Build the suite and record golden references (beam off).
-    std::vector<std::unique_ptr<workloads::Workload>> suite;
-    std::vector<double> run_seconds;
-    double activity_sum = 0.0;
-    for (const auto &name : config_.workloadNames) {
-        suite.push_back(workloads::makeWorkload(name));
-        auto &workload = *suite.back();
-        workloads::RunContext ctx(&memory, quantum,
-                                  config_.quantumAccesses);
-        platform.setWorkloadFootprint(
-            workload.traits().codeFootprintWords,
-            workload.traits().tlbFootprintEntries);
-        workload.setUp(ctx);
-        const Tick start = platform.clock().now();
-        workloads::WorkloadOutput golden = workload.run(ctx);
-        quantum();  // flush residual cycles into the clock
-        control.setGolden(name, golden);
-        run_seconds.push_back(
-            ticks::toSeconds(platform.clock().now() - start));
-        activity_sum += workload.traits().activityFactor;
-    }
-
-    // Drop the warm cache state the setup/golden phase left behind:
-    // the freshly written datasets would otherwise sit L3-resident and
-    // distort early-session detection rates.
-    memory.flushAll();
 
     // Warm-up: run the suite under beam without counting anything, so
     // the latent-flip population and cache churn reach their steady
@@ -232,7 +332,7 @@ TestSession::execute()
         beam_config.environment.neutronsPerCm2PerSecond;
     result.totalSramBits = memory.totalSramBits();
     result.avgPowerWatts = platform.currentPowerWatts(
-        activity_sum / static_cast<double>(suite.size()));
+        activitySum_ / static_cast<double>(suite.size()));
 
     std::map<std::string, WorkloadSessionStats> per_workload;
     for (const auto &name : config_.workloadNames)

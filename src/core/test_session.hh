@@ -11,14 +11,17 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/calibration.hh"
+#include "core/control_pc.hh"
 #include "core/outcome.hh"
 #include "cpu/xgene2_platform.hh"
 #include "mem/scrubber.hh"
 #include "rad/beam_source.hh"
+#include "sim/snapshot.hh"
 #include "trace/trace_sink.hh"
 #include "volt/operating_point.hh"
 
@@ -117,6 +120,27 @@ struct SessionResult {
 
 /**
  * Executes one session against a platform.
+ *
+ * A session splits into two phases with a checkpointable seam between
+ * them (DESIGN.md section 10):
+ *
+ *  - The *golden prefix* (runPrefix): apply the operating point, build
+ *    the suite, record golden references beam-off, flush the hierarchy.
+ *    The prefix never consumes the session seed -- its entire effect is
+ *    a deterministic function of the platform + session configuration
+ *    minus the seed -- so one prefix serves every replicate of the
+ *    session.
+ *
+ *  - The *continuation* (runContinuation): construct the beam from the
+ *    session seed, warm up, and measure. Everything seed-dependent
+ *    lives here.
+ *
+ * snapshotPrefix/restorePrefix serialize the seam state (platform
+ * clock, per-core RNG streams, the full memory hierarchy, scrub
+ * engine, workload bindings, golden store), letting a campaign fork N
+ * faulty continuations from one prefix instead of replaying it N
+ * times. execute() == runPrefix() + runContinuation() and is
+ * bit-identical to the historical single-pass implementation.
  */
 class TestSession
 {
@@ -132,9 +156,44 @@ class TestSession
     /** Run the whole session. */
     SessionResult execute();
 
+    /**
+     * Run the seed-independent golden prefix: operating point, suite
+     * construction, golden references (beam off), hierarchy flush.
+     * Fatal if the prefix already ran on this session object.
+     */
+    void runPrefix();
+
+    /**
+     * Serialize the prefix seam state. Requires runPrefix() (or
+     * restorePrefix()) to have completed.
+     */
+    void snapshotPrefix(SnapshotWriter &writer) const;
+
+    /**
+     * Adopt a prefix captured by snapshotPrefix() on a session with an
+     * identical configuration (the checkpoint envelope's config hash
+     * guards this; see core/checkpoint.hh). Replaces runPrefix().
+     */
+    void restorePrefix(SnapshotReader &reader);
+
+    /**
+     * Run the seed-dependent continuation: beam construction, warm-up,
+     * measured phase. Requires a prefix (run or restored). May be
+     * called once per session object.
+     */
+    SessionResult runContinuation();
+
   private:
     cpu::XGene2Platform *platform_;
     SessionConfig config_;
+
+    /* Prefix seam state (valid once prefixReady_). */
+    std::vector<std::unique_ptr<workloads::Workload>> suite_;
+    std::vector<double> runSeconds_;
+    double activitySum_ = 0.0;
+    ControlPc control_;
+    std::unique_ptr<mem::Scrubber> scrubber_;
+    bool prefixReady_ = false;
 };
 
 } // namespace xser::core

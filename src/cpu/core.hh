@@ -68,6 +68,40 @@ class Core
      */
     void driveQuantum(uint64_t accesses);
 
+    /**
+     * Serialize checkpointable state: the RNG stream (which advances
+     * with every quantum, so the golden prefix leaves it mid-sequence)
+     * plus the fractional touch carries and the active footprints.
+     */
+    void
+    snapshot(SnapshotWriter &writer) const
+    {
+        for (const uint64_t word : rng_.state())
+            writer.u64(word);
+        writer.f64(rng_.cachedGaussian());
+        writer.u8(rng_.hasCachedGaussian() ? 1 : 0);
+        writer.f64(ifetchCarry_);
+        writer.f64(tlbCarry_);
+        writer.u64(codeWords_);
+        writer.u64(tlbEntries_);
+    }
+
+    /** Restore state captured by snapshot(). */
+    void
+    restore(SnapshotReader &reader)
+    {
+        std::array<uint64_t, 4> state;
+        for (uint64_t &word : state)
+            word = reader.u64();
+        const double cached = reader.f64();
+        const bool has_cached = reader.u8() != 0;
+        rng_.restoreState(state, cached, has_cached);
+        ifetchCarry_ = reader.f64();
+        tlbCarry_ = reader.f64();
+        codeWords_ = static_cast<size_t>(reader.u64());
+        tlbEntries_ = static_cast<size_t>(reader.u64());
+    }
+
   private:
     CoreConfig config_;
     mem::MemorySystem *memory_;

@@ -95,6 +95,28 @@ XGene2Platform::currentPowerWatts(double activity) const
     return power_.totalWatts(point, activity);
 }
 
+void
+XGene2Platform::snapshot(SnapshotWriter &writer) const
+{
+    writer.u64(clock_.now());
+    writer.u64(cores_.size());
+    for (const auto &core : cores_)
+        core->snapshot(writer);
+    memory_->snapshot(writer);
+}
+
+void
+XGene2Platform::restore(SnapshotReader &reader)
+{
+    clock_.setNow(reader.u64());
+    const uint64_t cores = reader.u64();
+    XSER_ASSERT(cores == cores_.size(),
+                "snapshot core count mismatch restoring platform");
+    for (auto &core : cores_)
+        core->restore(reader);
+    memory_->restore(reader);
+}
+
 std::string
 XGene2Platform::specTable() const
 {

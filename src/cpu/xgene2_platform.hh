@@ -88,6 +88,23 @@ class XGene2Platform
     /** Chip power at the current operating point. */
     double currentPowerWatts(double activity = 1.0) const;
 
+    /**
+     * Serialize the platform's checkpointable state: the simulated
+     * clock, every core's front-end driver (RNG stream + carries), and
+     * the full memory hierarchy. Voltage domains, timing, variation,
+     * and power are pure functions of configuration + the applied
+     * operating point, so the restorer re-applies the operating point
+     * instead of serializing them.
+     */
+    void snapshot(SnapshotWriter &writer) const;
+
+    /**
+     * Restore state captured by snapshot() into a platform built from
+     * the same configuration, after applyOperatingPoint() has set the
+     * clock frequency and domain voltages.
+     */
+    void restore(SnapshotReader &reader);
+
     /** Formatted Table 1 specification dump. */
     std::string specTable() const;
 

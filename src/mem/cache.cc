@@ -287,4 +287,52 @@ Cache::occupancy() const
            static_cast<double>(meta_.size());
 }
 
+void
+Cache::snapshot(SnapshotWriter &writer) const
+{
+    writer.u64(meta_.size());
+    for (const auto &line : meta_) {
+        writer.u64(line.tag);
+        writer.u8(static_cast<uint8_t>((line.valid ? 1u : 0u) |
+                                       (line.dirty ? 2u : 0u)));
+        writer.u64(line.lastUse);
+    }
+    writer.u64(useCounter_);
+    writer.u64(stats_.hits);
+    writer.u64(stats_.misses);
+    writer.u64(stats_.evictions);
+    writer.u64(stats_.writebacks);
+    writer.u64(stats_.invalidations);
+    dataArray_.snapshot(writer);
+}
+
+void
+Cache::restore(SnapshotReader &reader)
+{
+    const uint64_t lines = reader.u64();
+    XSER_ASSERT(lines == meta_.size(),
+                msg("snapshot shape mismatch restoring ", config_.name));
+    std::fill(filter_.begin(), filter_.end(), 0);
+    for (size_t index = 0; index < meta_.size(); ++index) {
+        auto &line = meta_[index];
+        line.tag = reader.u64();
+        const uint8_t flags = reader.u8();
+        line.valid = (flags & 1u) != 0;
+        line.dirty = (flags & 2u) != 0;
+        line.lastUse = reader.u64();
+        // The residency filter is a pure function of the valid lines;
+        // rebuilding it here keeps it exact without serializing it.
+        if (line.valid)
+            filterAdd(geometry_.lineAddress(
+                line.tag, index / config_.associativity));
+    }
+    useCounter_ = reader.u64();
+    stats_.hits = reader.u64();
+    stats_.misses = reader.u64();
+    stats_.evictions = reader.u64();
+    stats_.writebacks = reader.u64();
+    stats_.invalidations = reader.u64();
+    dataArray_.restore(reader);
+}
+
 } // namespace xser::mem

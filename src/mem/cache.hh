@@ -256,6 +256,16 @@ class Cache
      */
     std::vector<std::pair<Addr, std::vector<uint64_t>>> drainAll();
 
+    /**
+     * Serialize the checkpointable state: line metadata, LRU counter,
+     * statistics, and the protected data array. The residency filter
+     * is derived state and is recomputed on restore.
+     */
+    void snapshot(SnapshotWriter &writer) const;
+
+    /** Restore state captured by snapshot() (same geometry required). */
+    void restore(SnapshotReader &reader);
+
     /** Total SRAM bits of the data array (beam footprint). */
     uint64_t footprintBits() const { return dataArray_.totalBits(); }
 

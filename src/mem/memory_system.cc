@@ -5,6 +5,8 @@
 
 #include "mem/memory_system.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace xser::mem {
@@ -495,6 +497,80 @@ MemorySystem::beamTargets()
         targets.push_back({&cache->dataArray(), CacheLevel::L2, true});
     targets.push_back({&l3_->dataArray(), CacheLevel::L3, false});
     return targets;
+}
+
+void
+MemorySystem::snapshot(SnapshotWriter &writer) const
+{
+    writer.u64(config_.numCores);
+    writer.u64(heapNext_);
+    writer.u64(cycles_);
+    writer.u64(accesses_);
+    writer.u64(delivery_.parityRefetches);
+    writer.u64(delivery_.dirtyUeDeliveries);
+    writer.u64(l2ScrubCursor_);
+    writer.u64(l3ScrubCursor_);
+
+    for (const auto &cache : l1d_)
+        cache->snapshot(writer);
+    for (const auto &cache : l2_)
+        cache->snapshot(writer);
+    l3_->snapshot(writer);
+    for (const auto &array : l1i_)
+        array->snapshot(writer);
+    for (const auto &array : tlb_)
+        array->snapshot(writer);
+
+    // DRAM pages in ascending address order: the map is hash-ordered,
+    // so the keys are collected and sorted first to keep the stream
+    // bytes a pure function of the simulated state.
+    std::vector<Addr> pages;
+    pages.reserve(dramPages_.size());
+    for (const auto &[base, words] : dramPages_) {
+        (void)words;
+        pages.push_back(base);
+    }
+    std::sort(pages.begin(), pages.end());
+    writer.u64(pages.size());
+    for (const Addr base : pages) {
+        writer.u64(base);
+        writer.u64Vector(dramPages_.at(base));
+    }
+}
+
+void
+MemorySystem::restore(SnapshotReader &reader)
+{
+    const uint64_t cores = reader.u64();
+    XSER_ASSERT(cores == config_.numCores,
+                "snapshot core count mismatch restoring memory system");
+    heapNext_ = reader.u64();
+    cycles_ = reader.u64();
+    accesses_ = reader.u64();
+    delivery_.parityRefetches = reader.u64();
+    delivery_.dirtyUeDeliveries = reader.u64();
+    l2ScrubCursor_ = static_cast<size_t>(reader.u64());
+    l3ScrubCursor_ = static_cast<size_t>(reader.u64());
+
+    for (auto &cache : l1d_)
+        cache->restore(reader);
+    for (auto &cache : l2_)
+        cache->restore(reader);
+    l3_->restore(reader);
+    for (auto &array : l1i_)
+        array->restore(reader);
+    for (auto &array : tlb_)
+        array->restore(reader);
+
+    dramPages_.clear();
+    const uint64_t pages = reader.u64();
+    for (uint64_t i = 0; i < pages; ++i) {
+        const Addr base = reader.u64();
+        std::vector<uint64_t> &page = dramPages_[base];
+        reader.u64Vector(page);
+        XSER_ASSERT(page.size() == pageWords,
+                    "snapshot DRAM page has wrong word count");
+    }
 }
 
 uint64_t

@@ -114,6 +114,21 @@ class MemorySystem
     /** Write back all dirty lines and invalidate every cache. */
     void flushAll();
 
+    /**
+     * Serialize the full checkpointable hierarchy state: every cache
+     * and refetchable array, the DRAM backing store (pages in sorted
+     * address order, so the bytes are independent of hash order), the
+     * heap bump pointer, the access/cycle accumulators, the scrub
+     * cursors, and the delivery counters.
+     */
+    void snapshot(SnapshotWriter &writer) const;
+
+    /**
+     * Restore state captured by snapshot() into an identically
+     * configured hierarchy (validated, fatal on mismatch).
+     */
+    void restore(SnapshotReader &reader);
+
     /** All SRAM arrays the beam can strike. */
     std::vector<BeamTarget> beamTargets();
 

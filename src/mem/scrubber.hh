@@ -18,6 +18,7 @@
 
 #include "mem/memory_system.hh"
 #include "sim/sim_clock.hh"
+#include "sim/snapshot.hh"
 
 namespace xser::mem {
 
@@ -59,6 +60,28 @@ class Scrubber
 
     /** Reset pacing remainders (start of session). */
     void reset();
+
+    /**
+     * Serialize checkpointable state: the fractional pacing
+     * remainders and the lifetime line counter. The lines-per-tick
+     * rates are derived from configuration at construction.
+     */
+    void
+    snapshot(SnapshotWriter &writer) const
+    {
+        writer.f64(l2Remainder_);
+        writer.f64(l3Remainder_);
+        writer.u64(linesScrubbed_);
+    }
+
+    /** Restore state captured by snapshot(). */
+    void
+    restore(SnapshotReader &reader)
+    {
+        l2Remainder_ = reader.f64();
+        l3Remainder_ = reader.f64();
+        linesScrubbed_ = reader.u64();
+    }
 
   private:
     ScrubberConfig config_;

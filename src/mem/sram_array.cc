@@ -287,4 +287,66 @@ SramArray::reset()
     counters_ = SramCounters{};
 }
 
+void
+SramArray::snapshot(SnapshotWriter &writer) const
+{
+    writer.u64(data_.size());
+    writer.u8(static_cast<uint8_t>(protection_));
+    writer.u64(corruptCount_);
+    writer.u64Vector(data_);
+    writer.byteVector(check_);
+    writer.byteVector(checkStale_);
+    writer.u64(counters_.bitFlipsInjected);
+    writer.u64(counters_.upsetEventsInjected);
+    writer.u64(counters_.corrected);
+    writer.u64(counters_.uncorrected);
+    writer.u64(counters_.parityErrors);
+    writer.u64(counters_.miscorrections);
+    writer.u64(counters_.silentEscapes);
+    writer.u64(counters_.overwrittenFlips);
+    if (corruptCount_ > 0) {
+        writer.u64Vector(shadow_);
+        writer.byteVector(shadowCheck_);
+        writer.byteVector(corrupt_);
+    }
+}
+
+void
+SramArray::restore(SnapshotReader &reader)
+{
+    const uint64_t words = reader.u64();
+    const auto protection = static_cast<Protection>(reader.u8());
+    XSER_ASSERT(words == data_.size() && protection == protection_,
+                msg("snapshot shape mismatch restoring ", name_));
+    corruptCount_ = reader.u64();
+    reader.u64Vector(data_);
+    reader.byteVector(check_);
+    reader.byteVector(checkStale_);
+    counters_.bitFlipsInjected = reader.u64();
+    counters_.upsetEventsInjected = reader.u64();
+    counters_.corrected = reader.u64();
+    counters_.uncorrected = reader.u64();
+    counters_.parityErrors = reader.u64();
+    counters_.miscorrections = reader.u64();
+    counters_.silentEscapes = reader.u64();
+    counters_.overwrittenFlips = reader.u64();
+    if (corruptCount_ > 0) {
+        reader.u64Vector(shadow_);
+        reader.byteVector(shadowCheck_);
+        reader.byteVector(corrupt_);
+    } else {
+        // Clean array: the corruption invariant (corrupt_[i] == 0 iff
+        // stored state matches truth) makes the shadow redundant.
+        shadow_ = data_;
+        shadowCheck_ = check_;
+        std::fill(corrupt_.begin(), corrupt_.end(), 0);
+    }
+    XSER_ASSERT(data_.size() == words && check_.size() == words &&
+                    checkStale_.size() == words &&
+                    shadow_.size() == words &&
+                    shadowCheck_.size() == words &&
+                    corrupt_.size() == words,
+                msg("snapshot vector length mismatch restoring ", name_));
+}
+
 } // namespace xser::mem

@@ -26,6 +26,7 @@
 #include "ecc/secded.hh"
 #include "sim/logging.hh"
 #include "sim/sim_clock.hh"
+#include "sim/snapshot.hh"
 #include "trace/trace_sink.hh"
 
 namespace xser::mem {
@@ -176,6 +177,23 @@ class SramArray
 
     /** Reset contents to zero truth and clear statistics. */
     void reset();
+
+    /**
+     * Serialize the full checkpointable state: stored bits, check
+     * bits, laziness flags, counters -- and, only when corruption is
+     * present, the shadow truth (a clean array's shadow equals its
+     * stored state by the corruption invariant, so it compresses
+     * away). Wiring (trace sink, time source, fast-path flag) is
+     * configuration, not state, and is not serialized.
+     */
+    void snapshot(SnapshotWriter &writer) const;
+
+    /**
+     * Restore state captured by snapshot() into an identically
+     * configured array (same word count and protection scheme --
+     * validated, fatal on mismatch).
+     */
+    void restore(SnapshotReader &reader);
 
     /**
      * Attach a lifecycle trace sink (null detaches). The array's read

@@ -80,6 +80,22 @@ class RefetchableArray
     /** Re-initialize contents and statistics. */
     void reset();
 
+    /** Serialize checkpointable state (array contents + repair count). */
+    void
+    snapshot(SnapshotWriter &writer) const
+    {
+        writer.u64(repairs_);
+        array_.snapshot(writer);
+    }
+
+    /** Restore state captured by snapshot(). */
+    void
+    restore(SnapshotReader &reader)
+    {
+        repairs_ = reader.u64();
+        array_.restore(reader);
+    }
+
   private:
     /** Deterministic synthetic content of a word. */
     uint64_t fillValue(size_t index) const;

@@ -128,8 +128,26 @@ class Rng
      */
     uint64_t nextPoisson(double mean);
 
-    /** Expose raw state for checkpoint tests. */
+    /** Expose raw state for checkpoints and checkpoint tests. */
     std::array<uint64_t, 4> state() const { return state_; }
+
+    /** Cached Box-Muller variate, part of the checkpointable state. */
+    double cachedGaussian() const { return cachedGaussian_; }
+    bool hasCachedGaussian() const { return hasCachedGaussian_; }
+
+    /**
+     * Restore a previously observed state (checkpoint restore). The
+     * restored generator continues the original draw sequence exactly,
+     * including a pending cached Box-Muller variate.
+     */
+    void
+    restoreState(const std::array<uint64_t, 4> &state,
+                 double cached_gaussian, bool has_cached_gaussian)
+    {
+        state_ = state;
+        cachedGaussian_ = cached_gaussian;
+        hasCachedGaussian_ = has_cached_gaussian;
+    }
 
   private:
     /** Rotate left helper for xoshiro. */

@@ -92,6 +92,9 @@ class SimClock
     /** Reset time to zero (new run). */
     void reset() { now_ = 0; }
 
+    /** Restore a previously observed time (checkpoint restore). */
+    void setNow(Tick now) { now_ = now; }
+
     /** Number of whole cycles elapsed at the current frequency. */
     uint64_t cyclesElapsed() const { return now_ / periodTicks_; }
 

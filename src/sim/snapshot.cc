@@ -1,0 +1,53 @@
+/**
+ * @file
+ * SnapshotWriter/SnapshotReader bulk-word encoding.
+ *
+ * The word-vector paths carry the memory hierarchy's multi-megabyte
+ * data arrays, so they take the memcpy shortcut on little-endian hosts
+ * (where the in-memory layout already matches the stream format) and
+ * fall back to the explicit per-byte encoding elsewhere. Both paths
+ * produce identical bytes -- the stream is little-endian by contract.
+ */
+
+#include "sim/snapshot.hh"
+
+namespace xser {
+
+void
+SnapshotWriter::u64Vector(const std::vector<uint64_t> &words)
+{
+    u64(words.size());
+    if constexpr (std::endian::native == std::endian::little) {
+        const size_t bytes = words.size() * 8;
+        const size_t at = out_.size();
+        out_.resize(at + bytes);
+        if (bytes > 0)
+            std::memcpy(out_.data() + at, words.data(), bytes);
+    } else {
+        for (const uint64_t word : words)
+            u64(word);
+    }
+}
+
+void
+SnapshotReader::u64Vector(std::vector<uint64_t> &out)
+{
+    const uint64_t count = u64();
+    // Validate the count itself before multiplying: a corrupt prefix
+    // must not overflow into a passing bounds check (or a huge resize).
+    if (count > remaining() / 8)
+        fatal(msg("snapshot stream underrun reading u64 vector: ", count,
+                  " words, have ", remaining(), " bytes"));
+    out.resize(static_cast<size_t>(count));
+    if constexpr (std::endian::native == std::endian::little) {
+        if (count > 0)
+            std::memcpy(out.data(), data_ + cursor_,
+                        static_cast<size_t>(count) * 8);
+        cursor_ += static_cast<size_t>(count) * 8;
+    } else {
+        for (uint64_t &word : out)
+            word = u64();
+    }
+}
+
+} // namespace xser

@@ -31,6 +31,30 @@ class CgWorkload : public Workload
     void onSetUp(RunContext &ctx) override;
     WorkloadOutput onRun(RunContext &ctx) override;
 
+    void
+    onSnapshot(SnapshotWriter &writer) const override
+    {
+        colIdx_.snapshot(writer);
+        values_.snapshot(writer);
+        b_.snapshot(writer);
+        x_.snapshot(writer);
+        r_.snapshot(writer);
+        p_.snapshot(writer);
+        q_.snapshot(writer);
+    }
+
+    void
+    onRestore(SnapshotReader &reader, mem::MemorySystem &memory) override
+    {
+        colIdx_.restore(reader, memory);
+        values_.restore(reader, memory);
+        b_.restore(reader, memory);
+        x_.restore(reader, memory);
+        r_.restore(reader, memory);
+        p_.restore(reader, memory);
+        q_.restore(reader, memory);
+    }
+
   private:
     static constexpr size_t n = 1024;
     static constexpr size_t nnzPerRow = 7;
@@ -59,6 +83,20 @@ class EpWorkload : public Workload
     void onSetUp(RunContext &ctx) override;
     WorkloadOutput onRun(RunContext &ctx) override;
 
+    void
+    onSnapshot(SnapshotWriter &writer) const override
+    {
+        buffer_.snapshot(writer);
+        counts_.snapshot(writer);
+    }
+
+    void
+    onRestore(SnapshotReader &reader, mem::MemorySystem &memory) override
+    {
+        buffer_.restore(reader, memory);
+        counts_.restore(reader, memory);
+    }
+
   private:
     static constexpr size_t samples = 40960;
     static constexpr size_t batch = 2048;
@@ -81,6 +119,24 @@ class FtWorkload : public Workload
   protected:
     void onSetUp(RunContext &ctx) override;
     WorkloadOutput onRun(RunContext &ctx) override;
+
+    void
+    onSnapshot(SnapshotWriter &writer) const override
+    {
+        re_.snapshot(writer);
+        im_.snapshot(writer);
+        re0_.snapshot(writer);
+        im0_.snapshot(writer);
+    }
+
+    void
+    onRestore(SnapshotReader &reader, mem::MemorySystem &memory) override
+    {
+        re_.restore(reader, memory);
+        im_.restore(reader, memory);
+        re0_.restore(reader, memory);
+        im0_.restore(reader, memory);
+    }
 
   private:
     static constexpr size_t dim = 64;  ///< 64x64 grid
@@ -109,6 +165,22 @@ class IsWorkload : public Workload
     void onSetUp(RunContext &ctx) override;
     WorkloadOutput onRun(RunContext &ctx) override;
 
+    void
+    onSnapshot(SnapshotWriter &writer) const override
+    {
+        keys_.snapshot(writer);
+        hist_.snapshot(writer);
+        sorted_.snapshot(writer);
+    }
+
+    void
+    onRestore(SnapshotReader &reader, mem::MemorySystem &memory) override
+    {
+        keys_.restore(reader, memory);
+        hist_.restore(reader, memory);
+        sorted_.restore(reader, memory);
+    }
+
   private:
     static constexpr size_t n = 32768;
     static constexpr int64_t maxKey = 2048;
@@ -130,6 +202,20 @@ class LuWorkload : public Workload
   protected:
     void onSetUp(RunContext &ctx) override;
     WorkloadOutput onRun(RunContext &ctx) override;
+
+    void
+    onSnapshot(SnapshotWriter &writer) const override
+    {
+        u_.snapshot(writer);
+        rhs_.snapshot(writer);
+    }
+
+    void
+    onRestore(SnapshotReader &reader, mem::MemorySystem &memory) override
+    {
+        u_.restore(reader, memory);
+        rhs_.restore(reader, memory);
+    }
 
   private:
     static constexpr size_t dim = 72;
@@ -154,6 +240,22 @@ class MgWorkload : public Workload
   protected:
     void onSetUp(RunContext &ctx) override;
     WorkloadOutput onRun(RunContext &ctx) override;
+
+    void
+    onSnapshot(SnapshotWriter &writer) const override
+    {
+        u_.snapshot(writer);
+        rhs_.snapshot(writer);
+        res_.snapshot(writer);
+    }
+
+    void
+    onRestore(SnapshotReader &reader, mem::MemorySystem &memory) override
+    {
+        u_.restore(reader, memory);
+        rhs_.restore(reader, memory);
+        res_.restore(reader, memory);
+    }
 
   private:
     static constexpr size_t fineDim = 64;

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "mem/memory_system.hh"
+#include "sim/snapshot.hh"
 
 namespace xser::workloads {
 
@@ -118,6 +119,27 @@ class SimArray
 
     /** Base address (for footprint diagnostics). */
     mem::Addr base() const { return base_; }
+
+    /**
+     * Serialize the handle (base address + extent). The element bytes
+     * themselves live in the memory hierarchy and travel with its
+     * snapshot; only the binding is recorded here.
+     */
+    void
+    snapshot(SnapshotWriter &writer) const
+    {
+        writer.u64(base_);
+        writer.u64(count_);
+    }
+
+    /** Restore the handle, rebinding it to `memory`. */
+    void
+    restore(SnapshotReader &reader, mem::MemorySystem &memory)
+    {
+        memory_ = &memory;
+        base_ = reader.u64();
+        count_ = static_cast<size_t>(reader.u64());
+    }
 
   private:
     mem::MemorySystem *memory_ = nullptr;

@@ -82,6 +82,21 @@ class TraceWorkload : public Workload
     void onSetUp(RunContext &ctx) override;
     WorkloadOutput onRun(RunContext &ctx) override;
 
+    void
+    onSnapshot(SnapshotWriter &writer) const override
+    {
+        // The trace itself is construction input, not simulated state;
+        // only the allocation binding needs to travel.
+        writer.u64(base_);
+    }
+
+    void
+    onRestore(SnapshotReader &reader, mem::MemorySystem &memory) override
+    {
+        (void)memory;
+        base_ = reader.u64();
+    }
+
   private:
     std::vector<TraceRecord> trace_;
     WorkloadTraits traits_;

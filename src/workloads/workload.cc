@@ -88,6 +88,23 @@ Workload::streamDataset(RunContext &ctx)
     return clean;
 }
 
+void
+Workload::snapshot(SnapshotWriter &writer) const
+{
+    dataset_.snapshot(writer);
+    writer.u64(windowCursor_);
+    onSnapshot(writer);
+}
+
+void
+Workload::restore(SnapshotReader &reader, mem::MemorySystem &memory)
+{
+    dataset_.restore(reader, memory);
+    windowCursor_ = static_cast<size_t>(reader.u64());
+    // nameHash_ is a derived cache; leave it to repopulate lazily.
+    onRestore(reader, memory);
+}
+
 WorkloadOutput
 Workload::run(RunContext &ctx)
 {

@@ -94,12 +94,35 @@ class Workload
     /** Rough memory accesses per run, for session planning. */
     virtual uint64_t approxAccessesPerRun() const = 0;
 
+    /**
+     * Serialize the workload's checkpointable state: the dataset
+     * binding, the rotating window cursor, and (via onSnapshot) every
+     * kernel array handle. Array *contents* live in the memory
+     * hierarchy and travel with its snapshot.
+     */
+    void snapshot(SnapshotWriter &writer) const;
+
+    /**
+     * Restore state captured by snapshot() into a freshly constructed
+     * kernel of the same type, rebinding every array to `memory`.
+     * Replaces setUp(): the restored hierarchy already holds the
+     * initialized contents.
+     */
+    void restore(SnapshotReader &reader, mem::MemorySystem &memory);
+
   protected:
     /** Kernel-specific allocation/initialization. */
     virtual void onSetUp(RunContext &ctx) = 0;
 
     /** Kernel-specific execution. */
     virtual WorkloadOutput onRun(RunContext &ctx) = 0;
+
+    /** Kernel-specific handle serialization (every SimArray member). */
+    virtual void onSnapshot(SnapshotWriter &writer) const = 0;
+
+    /** Kernel-specific handle restore, mirroring onSnapshot. */
+    virtual void onRestore(SnapshotReader &reader,
+                           mem::MemorySystem &memory) = 0;
 
   private:
     /** Deterministic content of dataset word i. */

@@ -1,0 +1,34 @@
+# Diff a tool's live `--help` output against its committed snapshot in
+# docs/cli/. Run as a ctest:
+#
+#   cmake -DTOOL=<binary> -DDOC=<docs/cli/tool.txt> -P check_help_drift.cmake
+#
+# Fails with a unified-style report when the usage text and the docs
+# disagree, so `docs/cli/` can never drift from the code. Regenerate a
+# snapshot with `<tool> --help > docs/cli/<tool>.txt`.
+
+if(NOT DEFINED TOOL OR NOT DEFINED DOC)
+    message(FATAL_ERROR "usage: cmake -DTOOL=<bin> -DDOC=<txt> -P "
+                        "check_help_drift.cmake")
+endif()
+
+execute_process(COMMAND "${TOOL}" --help
+                OUTPUT_VARIABLE live
+                ERROR_VARIABLE live_err
+                RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+    message(FATAL_ERROR
+            "${TOOL} --help exited ${status} (must be 0):\n${live_err}")
+endif()
+
+file(READ "${DOC}" committed)
+
+if(NOT live STREQUAL committed)
+    message(FATAL_ERROR
+            "help text drift: `${TOOL} --help` no longer matches "
+            "${DOC}.\n"
+            "Regenerate the snapshot:\n"
+            "  ${TOOL} --help > ${DOC}\n"
+            "--- committed ---\n${committed}\n"
+            "--- live ---\n${live}")
+endif()

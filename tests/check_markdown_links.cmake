@@ -1,0 +1,55 @@
+# Markdown link checker for the docs gate. Run as a ctest:
+#
+#   cmake -DROOT=<repo-root> -P check_markdown_links.cmake
+#
+# Scans the repo's documentation set for `[text](target)` links and
+# fails when a relative target does not exist on disk (anchors are
+# stripped first). External http(s)/mailto links are listed but not
+# fetched — the check must pass offline and never flake on a remote
+# outage.
+
+if(NOT DEFINED ROOT)
+    message(FATAL_ERROR
+            "usage: cmake -DROOT=<repo> -P check_markdown_links.cmake")
+endif()
+
+file(GLOB root_docs "${ROOT}/*.md")
+file(GLOB_RECURSE tree_docs "${ROOT}/docs/*.md")
+set(docs ${root_docs} ${tree_docs})
+
+set(broken "")
+set(checked 0)
+set(external 0)
+
+foreach(doc IN LISTS docs)
+    file(READ "${doc}" text)
+    get_filename_component(base "${doc}" DIRECTORY)
+    string(REGEX MATCHALL "\\[[^]]*\\]\\(([^)]+)\\)" links "${text}")
+    foreach(link IN LISTS links)
+        string(REGEX REPLACE "^\\[[^]]*\\]\\(([^)]+)\\)$" "\\1"
+               target "${link}")
+        if(target MATCHES "^(https?|mailto):")
+            math(EXPR external "${external} + 1")
+            continue()
+        endif()
+        # Drop an #anchor suffix; a bare "#section" self-link needs no
+        # file check at all.
+        string(REGEX REPLACE "#.*$" "" path "${target}")
+        if(path STREQUAL "")
+            continue()
+        endif()
+        math(EXPR checked "${checked} + 1")
+        if(NOT EXISTS "${base}/${path}")
+            file(RELATIVE_PATH rel "${ROOT}" "${doc}")
+            string(APPEND broken "  ${rel}: broken link -> ${target}\n")
+        endif()
+    endforeach()
+endforeach()
+
+list(LENGTH docs doc_count)
+message(STATUS "markdown link check: ${doc_count} file(s), "
+               "${checked} relative link(s) verified, "
+               "${external} external link(s) skipped")
+if(broken)
+    message(FATAL_ERROR "broken markdown links:\n${broken}")
+endif()

@@ -30,17 +30,19 @@
 namespace {
 
 int
-usage(const char *argv0)
+usage(FILE *stream)
 {
+    // Always "xser-lint", never argv[0]: the help text must not vary
+    // with the invocation path (the docs drift test diffs it against
+    // docs/cli/xser-lint.txt).
     std::fprintf(
-        stderr,
-        "usage: %s [--root <dir>] [--allow <file>] [--rules "
+        stream,
+        "usage: xser-lint [--root <dir>] [--allow <file>] [--rules "
         "classic|semantic|all]\n"
         "          [--format text|json|sarif] [--cache <file>] [--jobs "
         "N]\n"
         "          [--diff <base-ref>] [--allow-stale] [--verbose] [dir "
-        "...]\n",
-        argv0);
+        "...]\n");
     return 2;
 }
 
@@ -104,12 +106,12 @@ main(int argc, char **argv)
             else if (set == "all")
                 config.rules = RuleSet::All;
             else
-                return usage(argv[0]);
+                return usage(stderr);
         } else if (arg == "--format" && i + 1 < argc) {
             format = argv[++i];
             if (format != "text" && format != "json" &&
                 format != "sarif")
-                return usage(argv[0]);
+                return usage(stderr);
         } else if (arg == "--cache" && i + 1 < argc) {
             config.cacheFile = argv[++i];
         } else if (arg == "--jobs" && i + 1 < argc) {
@@ -122,10 +124,10 @@ main(int argc, char **argv)
         } else if (arg == "--verbose") {
             verbose = true;
         } else if (arg == "--help" || arg == "-h") {
-            usage(argv[0]);
+            usage(stdout);
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
-            return usage(argv[0]);
+            return usage(stderr);
         } else {
             config.scanDirs.push_back(arg);
         }

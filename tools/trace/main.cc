@@ -25,8 +25,8 @@ namespace {
 
 using namespace xser;
 
-int
-usage()
+void
+printUsage()
 {
     std::printf(
         "usage: xser-trace <command> [options]\n"
@@ -44,6 +44,12 @@ usage()
         "               --in FILE\n"
         "  diff       structural comparison; exit 1 when different\n"
         "               --a FILE --b FILE\n");
+}
+
+int
+usage()
+{
+    printUsage();
     return 2;
 }
 
@@ -110,6 +116,12 @@ main(int argc, char **argv)
 {
     const cli::Args args = cli::Args::parse(argc, argv);
     const std::string &command = args.command();
+    // `--help` parses as an option (no command), `help`/`-h` as a
+    // command; all three print the usage text and exit 0.
+    if (command == "help" || command == "-h" || args.has("help")) {
+        printUsage();
+        return 0;
+    }
     if (command == "summarize") {
         std::printf("%s",
                     tracetool::summarize(load(args, "in")).c_str());
