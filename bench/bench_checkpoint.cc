@@ -23,16 +23,15 @@
  * regression fails the job.
  */
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hh"
 #include "core/beam_campaign.hh"
 #include "core/parallel_campaign.hh"
+#include "telemetry/stopwatch.hh"
 
 namespace {
 
@@ -79,11 +78,9 @@ timedRun(const core::CampaignConfig &config, bool checkpoint)
     run.checkpoint = checkpoint;
     core::ParallelCampaignRunner runner(config, run);
     Timed timed;
-    const auto start = std::chrono::steady_clock::now();
+    const telemetry::Stopwatch watch;
     timed.result = runner.executeAll();
-    timed.seconds = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
+    timed.seconds = watch.seconds();
     return timed;
 }
 
@@ -148,27 +145,19 @@ main(int argc, char **argv)
     std::printf("bit-identical aggregates: %s\n",
                 identical ? "yes" : "NO -- EQUIVALENCE BROKEN");
 
-    std::ofstream json(out_path);
-    json.precision(6);
-    json << "{\n"
-         << "  \"bench\": \"checkpoint\",\n"
-         << "  \"scale\": " << scale << ",\n"
-         << "  \"jobs\": " << bench::benchJobs() << ",\n"
-         << "  \"sessions\": " << config.sessions.size() << ",\n"
-         << "  \"replicates\": " << replicates << ",\n"
-         << "  \"checkpoint_off_seconds\": " << off.seconds << ",\n"
-         << "  \"checkpoint_on_seconds\": " << on.seconds << ",\n"
-         << "  \"speedup_checkpoint_on_over_off\": " << speedup
-         << ",\n"
-         << "  \"units_per_second_checkpoint_on\": "
-         << units / on.seconds << ",\n"
-         << "  \"units_per_second_checkpoint_off\": "
-         << units / off.seconds << ",\n"
-         << "  \"aggregates_identical\": "
-         << (identical ? "true" : "false") << "\n"
-         << "}\n";
-    json.close();
-    std::printf("wrote %s\n", out_path.c_str());
+    bench::BenchReport report("checkpoint");
+    report.add("scale", scale);
+    report.add("jobs", static_cast<uint64_t>(bench::benchJobs()));
+    report.add("sessions",
+               static_cast<uint64_t>(config.sessions.size()));
+    report.add("replicates", static_cast<uint64_t>(replicates));
+    report.add("checkpoint_off_seconds", off.seconds);
+    report.add("checkpoint_on_seconds", on.seconds);
+    report.add("speedup_checkpoint_on_over_off", speedup);
+    report.add("units_per_second_checkpoint_on", units / on.seconds);
+    report.add("units_per_second_checkpoint_off", units / off.seconds);
+    report.add("aggregates_identical", identical);
+    report.write(out_path);
 
     if (!identical)
         return 1;

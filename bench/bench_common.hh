@@ -22,8 +22,86 @@
 #include "core/beam_campaign.hh"
 #include "core/parallel_campaign.hh"
 #include "core/test_session.hh"
+#include "sim/logging.hh"
+#include "telemetry/json.hh"
 
 namespace xser::bench {
+
+/** Schema identifier every BENCH_*.json record carries. */
+constexpr const char *benchRecordSchema = "xser-bench-record";
+
+/** Current bench-record schema version. */
+constexpr uint32_t benchRecordSchemaVersion = 1;
+
+/**
+ * The one code path every bench binary's BENCH_*.json record goes
+ * through: a schema-versioned document built on telemetry::JsonWriter,
+ * so CI artifact consumers can key on `schema`/`schema_version`/`bench`
+ * instead of guessing at per-bench hand-rolled layouts.
+ *
+ *     bench::BenchReport report("fastpath");
+ *     report.add("speedup", speedup);
+ *     report.beginSection("reference");
+ *     report.add("seconds", 20.84);
+ *     report.endSection();
+ *     report.write(out_path);
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(const char *bench_name)
+    {
+        json_.beginObject();
+        json_.member("schema", benchRecordSchema);
+        json_.member("schema_version",
+                     static_cast<uint64_t>(benchRecordSchemaVersion));
+        json_.member("bench", bench_name);
+    }
+
+    /** Add one scalar member (string/number/bool). */
+    template <typename T>
+    BenchReport &
+    add(const char *name, T value)
+    {
+        json_.member(name, value);
+        return *this;
+    }
+
+    /** Open a nested object member. */
+    BenchReport &
+    beginSection(const char *name)
+    {
+        json_.beginObject(name);
+        return *this;
+    }
+
+    BenchReport &
+    endSection()
+    {
+        json_.endObject();
+        return *this;
+    }
+
+    /** Close the record and write it; fatal on I/O failure. */
+    void
+    write(const std::string &path)
+    {
+        json_.endObject();
+        const std::string text = json_.take();
+        std::FILE *file = std::fopen(path.c_str(), "wb");
+        if (file == nullptr)
+            fatal(msg("cannot open bench record for writing: ", path));
+        const size_t written =
+            std::fwrite(text.data(), 1, text.size(), file);
+        const int close_status = std::fclose(file);
+        if (written != text.size() || close_status != 0)
+            fatal(msg("short write to bench record: ", path));
+        std::printf("wrote %s\n", path.c_str());
+    }
+
+  private:
+    telemetry::JsonWriter json_;
+};
 
 /** Default stop-criteria scale for bench runs. */
 constexpr double defaultScale = 0.22;

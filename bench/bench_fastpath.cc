@@ -15,15 +15,14 @@
  * regression fails the job.
  */
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hh"
 #include "core/parallel_campaign.hh"
+#include "telemetry/stopwatch.hh"
 
 namespace {
 
@@ -64,11 +63,9 @@ timedRun(const core::CampaignConfig &config)
     run.jobs = bench::benchJobs();
     core::ParallelCampaignRunner runner(config, run);
     Timed timed;
-    const auto start = std::chrono::steady_clock::now();
+    const telemetry::Stopwatch watch;
     timed.result = runner.execute();
-    timed.seconds = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
+    timed.seconds = watch.seconds();
     return timed;
 }
 
@@ -123,45 +120,32 @@ main(int argc, char **argv)
     std::printf("bit-identical results: %s\n",
                 identical ? "yes" : "NO -- EQUIVALENCE BROKEN");
 
-    std::ofstream json(out_path);
-    json.precision(6);
-    json << "{\n"
-         << "  \"bench\": \"fastpath\",\n"
-         << "  \"scale\": " << scale << ",\n"
-         << "  \"jobs\": " << bench::benchJobs() << ",\n"
-         << "  \"fast_off_seconds\": " << off.seconds << ",\n"
-         << "  \"fast_on_seconds\": " << on.seconds << ",\n"
-         << "  \"speedup_fast_on_over_off\": " << speedup << ",\n"
-         << "  \"sessions_per_second_fast_on\": "
-         << sessions / on.seconds << ",\n"
-         << "  \"sessions_per_second_fast_off\": "
-         << sessions / off.seconds << ",\n"
-         << "  \"aggregates_identical\": "
-         << (identical ? "true" : "false") << ",\n"
-         << "  \"reference_parallel_scaling\": {\n"
-         << "    \"bench\": \"bench_parallel_scaling XSER_SCALE=0.01 "
-            "XSER_JOBS=4, 1 worker row\",\n"
-         << "    \"seed_seconds\": " << referenceSeedSeconds << ",\n"
-         << "    \"current_seconds\": " << referenceCurrentSeconds
-         << ",\n"
-         << "    \"speedup\": "
-         << referenceSeedSeconds / referenceCurrentSeconds << "\n"
-         << "  },\n"
-         << "  \"reference_checkpoint\": {\n"
-         << "    \"bench\": \"bench_checkpoint cliff-voltage sweep, "
-            "2 sessions x 8 replicates, 1 worker\",\n"
-         << "    \"checkpoint_off_seconds\": "
-         << referenceCheckpointOffSeconds << ",\n"
-         << "    \"checkpoint_on_seconds\": "
-         << referenceCheckpointOnSeconds << ",\n"
-         << "    \"speedup\": "
-         << referenceCheckpointOffSeconds /
-                referenceCheckpointOnSeconds
-         << "\n"
-         << "  }\n"
-         << "}\n";
-    json.close();
-    std::printf("wrote %s\n", out_path.c_str());
+    bench::BenchReport report("fastpath");
+    report.add("scale", scale);
+    report.add("jobs", static_cast<uint64_t>(bench::benchJobs()));
+    report.add("fast_off_seconds", off.seconds);
+    report.add("fast_on_seconds", on.seconds);
+    report.add("speedup_fast_on_over_off", speedup);
+    report.add("sessions_per_second_fast_on", sessions / on.seconds);
+    report.add("sessions_per_second_fast_off", sessions / off.seconds);
+    report.add("aggregates_identical", identical);
+    report.beginSection("reference_parallel_scaling");
+    report.add("bench", "bench_parallel_scaling XSER_SCALE=0.01 "
+                        "XSER_JOBS=4, 1 worker row");
+    report.add("seed_seconds", referenceSeedSeconds);
+    report.add("current_seconds", referenceCurrentSeconds);
+    report.add("speedup",
+               referenceSeedSeconds / referenceCurrentSeconds);
+    report.endSection();
+    report.beginSection("reference_checkpoint");
+    report.add("bench", "bench_checkpoint cliff-voltage sweep, "
+                        "2 sessions x 8 replicates, 1 worker");
+    report.add("checkpoint_off_seconds", referenceCheckpointOffSeconds);
+    report.add("checkpoint_on_seconds", referenceCheckpointOnSeconds);
+    report.add("speedup", referenceCheckpointOffSeconds /
+                              referenceCheckpointOnSeconds);
+    report.endSection();
+    report.write(out_path);
 
     if (!identical)
         return 1;

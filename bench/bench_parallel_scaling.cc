@@ -12,7 +12,6 @@
  * still run there).
  */
 
-#include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -20,6 +19,7 @@
 #include "bench_common.hh"
 #include "core/parallel_campaign.hh"
 #include "core/table_printer.hh"
+#include "telemetry/stopwatch.hh"
 
 namespace {
 
@@ -55,8 +55,10 @@ aggregatesIdentical(const core::ReplicatedCampaignResult &a,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_scaling.json";
     bench::banner("Parallel scaling (4 sessions x 2 replicates)");
     // The scaling story needs units long enough to dwarf the pool
     // overhead but short enough for a quick sweep; 0.04 keeps the
@@ -71,13 +73,10 @@ main()
         run.jobs = jobs;
         run.replicates = 2;
         core::ParallelCampaignRunner runner(config, run);
-        const auto start = std::chrono::steady_clock::now();
+        const telemetry::Stopwatch watch;
         ScalingPoint point;
         point.result = runner.executeAll();
-        point.seconds =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - start)
-                .count();
+        point.seconds = watch.seconds();
         point.jobs = jobs;
         points.push_back(std::move(point));
     }
@@ -100,5 +99,17 @@ main()
                 std::thread::hardware_concurrency());
     std::printf("bit-identical across worker counts: %s\n",
                 identical ? "yes" : "NO -- DETERMINISM BROKEN");
+
+    bench::BenchReport report("parallel_scaling");
+    report.add("scale", scale);
+    report.add("hardware_threads",
+               static_cast<uint64_t>(
+                   std::thread::hardware_concurrency()));
+    report.add("aggregates_identical", identical);
+    report.beginSection("seconds_by_workers");
+    for (const auto &point : points)
+        report.add(std::to_string(point.jobs).c_str(), point.seconds);
+    report.endSection();
+    report.write(out_path);
     return identical ? 0 : 1;
 }

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Overhead gate for the telemetry subsystem: run the same campaign
+ * with metrics collection off (no registry -- every count() is a
+ * null-check) and on (per-worker shards, phase timers, distribution
+ * samples), assert the aggregates are bit-identical, and gate the
+ * on/off wall-clock ratio so instrumentation creep fails CI before it
+ * taxes every campaign.
+ *
+ * Each mode takes the best of two runs: telemetry's cost is small
+ * against scheduler noise, and min-of-N is the standard way to keep a
+ * ratio gate from flapping.
+ *
+ * Usage: bench_telemetry_overhead [output.json] [max-ratio]
+ *
+ * Exit status is nonzero when the aggregates diverge (telemetry
+ * perturbed the simulation) or when metrics-on runs more than
+ * `max-ratio` times metrics-off wall-clock -- CI passes 1.02, the
+ * 2% overhead ceiling DESIGN.md section 11 commits to.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/parallel_campaign.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/stopwatch.hh"
+
+namespace {
+
+using namespace xser;
+
+/** One timed campaign, metrics on or off. */
+struct Timed {
+    double seconds = 0.0;
+    core::ReplicatedCampaignResult result;
+};
+
+Timed
+timedRun(const core::CampaignConfig &config, bool metrics)
+{
+    core::ParallelRunConfig run;
+    run.jobs = bench::benchJobs();
+    run.replicates = 2;
+    telemetry::MetricRegistry registry(run.jobs);
+    if (metrics)
+        run.metrics = &registry;
+    core::ParallelCampaignRunner runner(config, run);
+    Timed timed;
+    const telemetry::Stopwatch watch;
+    timed.result = runner.executeAll();
+    timed.seconds = watch.seconds();
+    return timed;
+}
+
+bool
+aggregatesIdentical(const core::ReplicatedCampaignResult &a,
+                    const core::ReplicatedCampaignResult &b)
+{
+    if (a.sessions.size() != b.sessions.size())
+        return false;
+    for (size_t s = 0; s < a.sessions.size(); ++s) {
+        const core::SessionAggregate &x = a.sessions[s];
+        const core::SessionAggregate &y = b.sessions[s];
+        if (x.runs != y.runs || x.fluence != y.fluence ||
+            x.upsetsDetected != y.upsetsDetected ||
+            x.rawUpsetEvents != y.rawUpsetEvents ||
+            x.events.total() != y.events.total() ||
+            x.fitTotal.mean() != y.fitTotal.mean() ||
+            x.fitTotal.variance() != y.fitTotal.variance())
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_telemetry.json";
+    const double max_ratio = argc > 2 ? std::atof(argv[2]) : 0.0;
+
+    bench::banner("Telemetry overhead gate (metrics off vs on)");
+    // Small smoke scale by default: the point is the ratio and the
+    // bit-identity check, not statistics (XSER_SCALE raises it).
+    const double scale = bench::campaignScaleFromEnv(0.02);
+    const core::CampaignConfig config =
+        core::BeamCampaign::paperCampaign(scale);
+
+    // Interleave the modes so slow drift (thermal, other tenants)
+    // lands on both sides of the ratio.
+    Timed off = timedRun(config, false);
+    Timed on = timedRun(config, true);
+    const Timed off2 = timedRun(config, false);
+    const Timed on2 = timedRun(config, true);
+    off.seconds = std::min(off.seconds, off2.seconds);
+    on.seconds = std::min(on.seconds, on2.seconds);
+
+    const bool identical =
+        aggregatesIdentical(off.result, on.result) &&
+        aggregatesIdentical(off.result, off2.result) &&
+        aggregatesIdentical(off.result, on2.result);
+    const double ratio = on.seconds / off.seconds;
+
+    std::printf("metrics off: %.2f s (best of 2)\n", off.seconds);
+    std::printf("metrics on:  %.2f s (best of 2)\n", on.seconds);
+    std::printf("on/off ratio: %.4f\n", ratio);
+    std::printf("bit-identical aggregates: %s\n",
+                identical ? "yes" : "NO -- TELEMETRY PERTURBED RESULTS");
+
+    bench::BenchReport report("telemetry_overhead");
+    report.add("scale", scale);
+    report.add("jobs", static_cast<uint64_t>(bench::benchJobs()));
+    report.add("metrics_off_seconds", off.seconds);
+    report.add("metrics_on_seconds", on.seconds);
+    report.add("on_over_off_ratio", ratio);
+    report.add("aggregates_identical", identical);
+    report.write(out_path);
+
+    if (!identical)
+        return 1;
+    if (max_ratio > 0.0 && ratio > max_ratio) {
+        std::printf("REGRESSION: ratio %.4f above the %.4f ceiling\n",
+                    ratio, max_ratio);
+        return 1;
+    }
+    return 0;
+}

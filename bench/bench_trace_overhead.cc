@@ -13,7 +13,6 @@
  * Exits 1 on any aggregate mismatch.
  */
 
-#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <vector>
@@ -21,6 +20,7 @@
 #include "bench_common.hh"
 #include "core/parallel_campaign.hh"
 #include "core/table_printer.hh"
+#include "telemetry/stopwatch.hh"
 #include "trace/trace_reader.hh"
 #include "trace/trace_writer.hh"
 
@@ -61,12 +61,10 @@ timedRun(const char *mode, const core::CampaignConfig &config,
          trace::TraceWriter *writer)
 {
     core::ParallelCampaignRunner runner(config, run);
-    const auto start = std::chrono::steady_clock::now();
+    const telemetry::Stopwatch watch;
     ModePoint point;
     point.result = runner.executeAll(writer);
-    point.seconds = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
+    point.seconds = watch.seconds();
     point.mode = mode;
     return point;
 }
@@ -74,8 +72,10 @@ timedRun(const char *mode, const core::CampaignConfig &config,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_trace_overhead.json";
     bench::banner("Trace subsystem overhead (off / buffered / written)");
     const double scale = bench::campaignScaleFromEnv(0.04);
     const core::CampaignConfig config =
@@ -128,5 +128,17 @@ main()
                                                      points[i].result);
     std::printf("aggregates bit-identical across modes: %s\n",
                 identical ? "yes" : "NO -- TRACING PERTURBED RESULTS");
+
+    bench::BenchReport report("trace_overhead");
+    report.add("scale", scale);
+    report.add("jobs", static_cast<uint64_t>(bench::benchJobs()));
+    report.add("trace_events", trace_events);
+    report.add("trace_bytes", trace_bytes);
+    report.add("aggregates_identical", identical);
+    report.beginSection("seconds_by_mode");
+    for (const auto &point : points)
+        report.add(point.mode, point.seconds);
+    report.endSection();
+    report.write(out_path);
     return identical ? 0 : 1;
 }

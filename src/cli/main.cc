@@ -27,11 +27,15 @@
 #include "core/fit_calculator.hh"
 #include "core/parallel_campaign.hh"
 #include "core/report_export.hh"
+#include "core/run_manifest.hh"
 #include "core/table_printer.hh"
 #include "core/test_session.hh"
 #include "core/tradeoff.hh"
 #include "cpu/xgene2_platform.hh"
 #include "sim/logging.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/progress.hh"
+#include "telemetry/stopwatch.hh"
 #include "trace/trace_buffer.hh"
 #include "trace/trace_writer.hh"
 #include "volt/vmin_characterizer.hh"
@@ -56,6 +60,7 @@ printUsage()
         "                  --events N --fluence NCM2 --warmup N\n"
         "                  --seed S --csv FILE --fastpath on|off\n"
         "                  --trace FILE --trace-buffer-events N\n"
+        "                  --metrics FILE (versioned run manifest)\n"
         "  campaign      the paper's four Table 2 sessions\n"
         "                  --scale F --seed S --csv FILE\n"
         "                  --jobs N|auto --replicates R\n"
@@ -65,15 +70,25 @@ printUsage()
         "                  golden prefix per replicate instead of\n"
         "                  forking it; bit-identical either way)\n"
         "                  --trace FILE --trace-buffer-events N\n"
-        "                  (results and trace files bit-identical for\n"
-        "                  any --jobs; see README 'Running campaigns')\n"
+        "                  --metrics FILE (versioned run manifest;\n"
+        "                  inspect with xser-metrics)\n"
+        "                  --progress (live stderr progress line;\n"
+        "                  TTY only, --quiet wins)\n"
+        "                  (results, trace files, and every manifest\n"
+        "                  section outside \"timing\" bit-identical for\n"
+        "                  any --jobs and with telemetry on or off;\n"
+        "                  see README 'Running campaigns')\n"
         "  tradeoff      energy-vs-SDC policy curve for a fleet\n"
         "                  --devices N --checkpoint SEC\n"
         "                  --altitude M --budget SDCS_PER_YEAR\n"
         "  avf           statistical fault injection per cache level\n"
         "                  --workload NAME --trials N --flips K\n"
         "                  --burst SIZE\n"
-        "                  --seed S\n");
+        "                  --seed S\n"
+        "\n"
+        "global options:\n"
+        "  --quiet       suppress warnings, status output, and the\n"
+        "                live progress line (reports still print)\n");
 }
 
 int
@@ -140,6 +155,18 @@ makeTraceWriter(const cli::Args &args)
     return std::make_unique<trace::TraceWriter>(path);
 }
 
+/** Path given to --metrics, or empty when the flag is absent. */
+std::string
+metricsPath(const cli::Args &args)
+{
+    if (!args.has("metrics"))
+        return "";
+    const std::string path = args.get("metrics", "");
+    if (path.empty())
+        fatal("option --metrics expects a file path");
+    return path;
+}
+
 /** Parse an on|off option with a default (fatal on anything else). */
 bool
 onOffFlag(const cli::Args &args, const char *name)
@@ -166,6 +193,8 @@ cmdSession(const cli::Args &args)
     if (!args.has("pmd"))
         fatal("session requires --pmd <millivolts>");
 
+    const telemetry::Stopwatch elapsed;
+    const std::string metrics_path = metricsPath(args);
     core::SessionConfig config;
     config.point.pmdMillivolts = args.getDouble("pmd", 980.0);
     config.point.socMillivolts =
@@ -199,7 +228,14 @@ cmdSession(const cli::Args &args)
     platform_config.memory.fastPath = fastpath;
     cpu::XGene2Platform platform(platform_config);
     core::TestSession session(&platform, config);
-    const core::SessionResult result = session.execute();
+    std::unique_ptr<telemetry::MetricRegistry> registry;
+    if (!metrics_path.empty())
+        registry = std::make_unique<telemetry::MetricRegistry>(1);
+    const core::SessionResult result = [&] {
+        const telemetry::ShardScope scope(
+            registry != nullptr ? &registry->shard(0) : nullptr);
+        return session.execute();
+    }();
 
     if (writer) {
         core::CampaignConfig one;
@@ -213,6 +249,26 @@ cmdSession(const cli::Args &args)
                         buffer->events().size()),
                     static_cast<unsigned long long>(buffer->dropped()),
                     writer->path().c_str());
+    }
+
+    if (registry != nullptr) {
+        core::CampaignConfig one;
+        one.sessions.push_back(config);
+        core::ManifestRunInfo info;
+        info.tool = "xser session";
+        info.configHash = core::campaignConfigHash(one);
+        info.seed = config.seed;
+        info.sessions = 1;
+        info.replicates = 1;
+        info.fastpath = fastpath;
+        info.checkpoint = false;
+        core::SessionAggregate aggregate;
+        aggregate.point = config.point;
+        aggregate.add(result);
+        core::writeManifestFile(
+            metrics_path,
+            core::renderRunManifest(info, {aggregate}, registry.get(),
+                                    1, elapsed.seconds()));
     }
 
     std::printf("%s", core::formatTable2({result}).c_str());
@@ -254,8 +310,10 @@ printReplicateSummary(const core::ReplicatedCampaignResult &sweep)
 int
 cmdCampaign(const cli::Args &args)
 {
+    const telemetry::Stopwatch elapsed;
     const double scale = args.getDouble("scale", 0.22);
     const uint64_t seed = args.getUint("seed", 0x5e5510ULL);
+    const std::string metrics_path = metricsPath(args);
     core::ParallelRunConfig run;
     run.jobs = args.getJobs("jobs", 1);
     run.replicates =
@@ -269,10 +327,50 @@ cmdCampaign(const cli::Args &args)
     std::unique_ptr<trace::TraceWriter> writer = makeTraceWriter(args);
     core::CampaignConfig campaign =
         core::BeamCampaign::paperCampaign(scale, seed);
-    core::setFastPath(campaign, fastPathFlag(args));
+    const bool fastpath = fastPathFlag(args);
+    core::setFastPath(campaign, fastpath);
+
+    std::unique_ptr<telemetry::MetricRegistry> registry;
+    if (!metrics_path.empty()) {
+        registry =
+            std::make_unique<telemetry::MetricRegistry>(run.jobs);
+        run.metrics = registry.get();
+    }
+    // Progress needs a terminal, and --quiet wins (see sim/logging.hh
+    // for the precedence contract).
+    telemetry::ProgressMeter progress;
+    if (args.has("progress") && telemetry::progressSupported() &&
+        Logger::global().level() != LogLevel::Quiet) {
+        const uint64_t sessions = campaign.sessions.size();
+        const uint64_t tasks =
+            sessions * run.replicates +
+            (run.checkpoint ? sessions : 0);
+        progress.begin("campaign", tasks);
+        run.progress = &progress;
+    }
+
     core::ParallelCampaignRunner runner(campaign, run);
     const core::ReplicatedCampaignResult sweep =
         runner.executeAll(writer.get());
+    progress.finish();
+
+    if (registry != nullptr) {
+        core::ManifestRunInfo info;
+        info.tool = "xser campaign";
+        info.configHash = core::campaignConfigHash(campaign);
+        info.seed = seed;
+        info.scale = scale;
+        info.sessions =
+            static_cast<unsigned>(campaign.sessions.size());
+        info.replicates = run.replicates;
+        info.fastpath = fastpath;
+        info.checkpoint = run.checkpoint;
+        core::writeManifestFile(
+            metrics_path,
+            core::renderRunManifest(info, sweep.sessions,
+                                    registry.get(), run.jobs,
+                                    elapsed.seconds()));
+    }
     if (writer)
         std::printf("trace: %llu units -> %s\n",
                     static_cast<unsigned long long>(
@@ -385,6 +483,8 @@ int
 main(int argc, char **argv)
 {
     const cli::Args args = cli::Args::parse(argc, argv);
+    if (args.has("quiet"))
+        Logger::global().setLevel(LogLevel::Quiet);
     const std::string &command = args.command();
     // `--help` parses as an option (no command), `help`/`-h` as a
     // command; all three print the usage text and exit 0.

@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "telemetry/metrics.hh"
 
 namespace xser::core {
 
@@ -76,6 +77,9 @@ sealCheckpoint(uint32_t session_index, uint64_t config_hash,
     putU64(bytes, payload.size());
     putU64(bytes, fnv1a(payload.data(), payload.size()));
     bytes.insert(bytes.end(), payload.begin(), payload.end());
+    telemetry::count(telemetry::Counter::CheckpointsSealed);
+    telemetry::count(telemetry::Counter::CheckpointSealedBytes,
+                     bytes.size());
     return bytes;
 }
 
@@ -119,6 +123,9 @@ openCheckpoint(const std::vector<uint8_t> &bytes)
     view.ok = true;
     view.payload = payload;
     view.payloadSize = static_cast<size_t>(payload_size);
+    telemetry::count(telemetry::Counter::CheckpointsOpened);
+    telemetry::count(telemetry::Counter::CheckpointOpenedBytes,
+                     bytes.size());
     return view;
 }
 

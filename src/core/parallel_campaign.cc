@@ -16,6 +16,8 @@
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 #include "sim/snapshot.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/progress.hh"
 #include "trace/trace_writer.hh"
 
 namespace xser::core {
@@ -134,6 +136,11 @@ ParallelCampaignRunner::ParallelCampaignRunner(
         fatal("parallel campaign needs at least one replicate");
     if (run_.jobs == 0)
         run_.jobs = 1;
+    if (run_.metrics != nullptr &&
+        run_.metrics->shardCount() < run_.jobs)
+        fatal(msg("metric registry has ", run_.metrics->shardCount(),
+                  " shards but the pool may run ", run_.jobs,
+                  " workers; size the registry to --jobs"));
 }
 
 SessionResult
@@ -153,24 +160,32 @@ ParallelCampaignRunner::runUnit(size_t session_index,
     session_config.traceSink = buffer;
     cpu::XGene2Platform platform(config_.platform);
     TestSession session(&platform, session_config);
-    if (checkpoint == nullptr)
+    if (checkpoint == nullptr) {
+        const telemetry::ScopedPhase timer(
+            telemetry::Phase::Continuation);
         return session.execute();
+    }
 
     // Fork path: adopt the session's prefix and run the (seed-
     // dependent) continuation only. The envelope re-validates even
     // though we sealed it ourselves moments ago -- the checksum is
     // cheap next to a session and turns any buffer mix-up into a
     // loud, attributable failure.
-    const CheckpointView view = openCheckpoint(*checkpoint);
-    if (!view.ok)
-        fatal(msg("refusing checkpoint for session ", session_index,
-                  ": ", view.error));
-    XSER_ASSERT(view.sessionIndex == session_index,
-                "checkpoint/session index mismatch");
-    SnapshotReader reader(view.payload, view.payloadSize);
-    session.restorePrefix(reader);
-    XSER_ASSERT(reader.atEnd(),
-                "checkpoint payload not fully consumed by restore");
+    {
+        const telemetry::ScopedPhase timer(
+            telemetry::Phase::SnapshotRestore);
+        const CheckpointView view = openCheckpoint(*checkpoint);
+        if (!view.ok)
+            fatal(msg("refusing checkpoint for session ",
+                      session_index, ": ", view.error));
+        XSER_ASSERT(view.sessionIndex == session_index,
+                    "checkpoint/session index mismatch");
+        SnapshotReader reader(view.payload, view.payloadSize);
+        session.restorePrefix(reader);
+        XSER_ASSERT(reader.atEnd(),
+                    "checkpoint payload not fully consumed by restore");
+    }
+    const telemetry::ScopedPhase timer(telemetry::Phase::Continuation);
     return session.runContinuation();
 }
 
@@ -204,9 +219,18 @@ ParallelCampaignRunner::run(unsigned count,
         }
     }
 
+    // The calling thread records into shard 0 for the serial phases
+    // (trace write, merge) and the inline pool path; pool workers
+    // install their own shard below. Null when telemetry is off.
+    const telemetry::ShardScope caller_scope(
+        run_.metrics != nullptr ? &run_.metrics->shard(0) : nullptr);
+
     // Atomic-cursor worker pool over `n` index-keyed tasks; results
     // always land in pre-sized slots keyed by index, so worker
-    // scheduling can never reorder them.
+    // scheduling can never reorder them. Worker w records telemetry
+    // into shard w -- shards are never shared, and the registry merge
+    // walks them in index order, so the merged counters are the same
+    // for any worker count or schedule.
     auto run_pool = [this](size_t n, const auto &task) {
         const size_t workers = std::min<size_t>(run_.jobs, n);
         if (workers <= 1) {
@@ -218,7 +242,11 @@ ParallelCampaignRunner::run(unsigned count,
         std::vector<std::thread> pool;
         pool.reserve(workers);
         for (size_t i = 0; i < workers; ++i) {
-            pool.emplace_back([&]() {
+            pool.emplace_back([&, i]() {
+                const telemetry::ShardScope scope(
+                    run_.metrics != nullptr
+                        ? &run_.metrics->shard(i)
+                        : nullptr);
                 for (;;) {
                     const size_t index =
                         cursor.fetch_add(1, std::memory_order_relaxed);
@@ -245,12 +273,25 @@ ParallelCampaignRunner::run(unsigned count,
         run_pool(num_sessions, [&](size_t session) {
             cpu::XGene2Platform platform(config_.platform);
             TestSession prefix(&platform, config_.sessions[session]);
-            prefix.runPrefix();
+            {
+                const telemetry::ScopedPhase timer(
+                    telemetry::Phase::Prefix);
+                prefix.runPrefix();
+            }
+            const telemetry::ScopedPhase timer(
+                telemetry::Phase::SnapshotEncode);
             SnapshotWriter writer;
             prefix.snapshotPrefix(writer);
             checkpoints[session] = sealCheckpoint(
                 static_cast<uint32_t>(session), config_hash,
                 writer.take());
+            telemetry::count(telemetry::Counter::SessionsPrefixed);
+            telemetry::distAdd(
+                telemetry::Dist::CheckpointKilobytes,
+                static_cast<double>(checkpoints[session].size()) /
+                    1024.0);
+            if (run_.progress != nullptr)
+                run_.progress->tick();
         });
     }
 
@@ -261,13 +302,35 @@ ParallelCampaignRunner::run(unsigned count,
     run_pool(units, [&](size_t unit) {
         const size_t replicate = unit / num_sessions;
         const size_t session = unit % num_sessions;
+        telemetry::MetricShard *shard = telemetry::activeShard();
+        const uint64_t begin_nanos =
+            shard != nullptr ? telemetry::monotonicNanos() : 0;
         slots[unit] = runUnit(
             session, static_cast<unsigned>(replicate),
             tracing ? buffers[unit].get() : nullptr,
             run_.checkpoint ? &checkpoints[session] : nullptr);
+        if (shard != nullptr) {
+            ++shard->unitsExecuted;
+            telemetry::distAdd(
+                telemetry::Dist::UnitSeconds,
+                static_cast<double>(telemetry::monotonicNanos() -
+                                    begin_nanos) *
+                    1e-9);
+            telemetry::count(telemetry::Counter::UnitsCompleted);
+            telemetry::distAdd(
+                telemetry::Dist::RunsPerUnit,
+                static_cast<double>(slots[unit].runs));
+            telemetry::distAdd(
+                telemetry::Dist::ErrorEventsPerUnit,
+                static_cast<double>(slots[unit].events.total()));
+        }
+        if (run_.progress != nullptr)
+            run_.progress->tick();
     });
 
     if (trace_writer != nullptr) {
+        const telemetry::ScopedPhase timer(
+            telemetry::Phase::TraceWrite);
         // Merge after the pool has drained, in canonical unit order --
         // never completion order -- so the file bytes are independent
         // of the worker count. The array table is a pure function of
@@ -276,11 +339,15 @@ ParallelCampaignRunner::run(unsigned count,
         mem::MemorySystem memory(config_.platform.memory, &reporter);
         trace_writer->writeHeader(run_.seed, campaignConfigHash(config_),
                                   memory.traceArrayTable(), units);
-        for (const auto &buffer : buffers)
+        for (const auto &buffer : buffers) {
+            telemetry::count(telemetry::Counter::TraceEventsMerged,
+                             buffer->events().size());
             trace_writer->appendUnit(*buffer);
+        }
         trace_writer->finish();
     }
 
+    const telemetry::ScopedPhase timer(telemetry::Phase::Merge);
     std::vector<CampaignResult> results(count);
     for (size_t unit = 0; unit < units; ++unit)
         results[unit / num_sessions].sessions.push_back(
@@ -299,6 +366,9 @@ ParallelCampaignRunner::executeAll(trace::TraceWriter *trace_writer)
 {
     ReplicatedCampaignResult result;
     result.replicates = run(run_.replicates, trace_writer);
+    const telemetry::ShardScope scope(
+        run_.metrics != nullptr ? &run_.metrics->shard(0) : nullptr);
+    const telemetry::ScopedPhase timer(telemetry::Phase::Merge);
     result.sessions.resize(config_.sessions.size());
     // Canonical merge order: replicate-major, session-minor, always
     // after the pool has drained -- never completion order.

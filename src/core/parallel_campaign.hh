@@ -38,6 +38,11 @@ namespace xser::trace {
 class TraceWriter;
 } // namespace xser::trace
 
+namespace xser::telemetry {
+class MetricRegistry;
+class ProgressMeter;
+} // namespace xser::telemetry
+
 namespace xser::core {
 
 /** Parallel execution parameters. */
@@ -65,6 +70,16 @@ struct ParallelRunConfig {
      * campaignConfigHash for exactly that reason.
      */
     bool checkpoint = true;
+    /**
+     * Optional metrics sink with at least min(jobs, units) shards;
+     * each worker records into its own shard and the registry merges
+     * them canonically (DESIGN.md section 11). Telemetry observes
+     * only: results and trace bytes are bit-identical whether this is
+     * null or not, for any --jobs -- gated by test_telemetry.
+     */
+    telemetry::MetricRegistry *metrics = nullptr;
+    /** Optional live progress meter, ticked once per finished task. */
+    telemetry::ProgressMeter *progress = nullptr;
 };
 
 /**

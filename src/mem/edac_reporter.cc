@@ -5,6 +5,8 @@
 
 #include "mem/edac_reporter.hh"
 
+#include "telemetry/metrics.hh"
+
 namespace xser::mem {
 
 const char *
@@ -24,10 +26,13 @@ EdacReporter::post(Tick when, CacheLevel level, EdacKind kind,
                    const std::string &source)
 {
     auto &tally = tallies_[static_cast<size_t>(level)];
-    if (kind == EdacKind::Corrected)
+    if (kind == EdacKind::Corrected) {
         ++tally.corrected;
-    else
+        telemetry::count(telemetry::Counter::EdacCorrected);
+    } else {
         ++tally.uncorrected;
+        telemetry::count(telemetry::Counter::EdacUncorrected);
+    }
     if (keepLog_)
         log_.push_back(EdacEvent{when, level, kind, source});
 }

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "telemetry/metrics.hh"
 
 namespace xser::mem {
 
@@ -223,10 +224,13 @@ MemorySystem::snoopOtherL2s(unsigned writing_pair, Addr line_addr)
         if (pair == writing_pair)
             continue;
         Cache &other = *l2_[pair];
+        telemetry::count(telemetry::Counter::SnoopProbes);
         // Residency-filter early-out: a zero bucket count proves the
         // line absent, so the snoop is a no-op without a tag search.
-        if (config_.fastPath && !other.mayContain(line_addr))
+        if (config_.fastPath && !other.mayContain(line_addr)) {
+            telemetry::count(telemetry::Counter::SnoopsFiltered);
             continue;
+        }
         const int way = other.findWay(line_addr);
         if (way < 0)
             continue;

@@ -6,6 +6,7 @@
 #include "mem/scrubber.hh"
 
 #include "sim/logging.hh"
+#include "telemetry/metrics.hh"
 
 namespace xser::mem {
 
@@ -46,6 +47,9 @@ Scrubber::advance(Tick elapsed)
     if (l2_due > 0 || l3_due > 0) {
         memory_->scrub(l2_due, l3_due);
         linesScrubbed_ += l2_due + l3_due;
+        telemetry::count(telemetry::Counter::ScrubPasses);
+        telemetry::count(telemetry::Counter::ScrubLines,
+                         l2_due + l3_due);
     }
 }
 

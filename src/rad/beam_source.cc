@@ -24,6 +24,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "telemetry/metrics.hh"
 
 namespace xser::rad {
 
@@ -168,6 +169,7 @@ BeamSource::scheduleNextSettle()
 void
 BeamSource::settle()
 {
+    telemetry::count(telemetry::Counter::BeamSettles);
     const double window = ticks::toSeconds(nowTick_ - baseTick_);
     for (size_t i = 0; i < targets_.size(); ++i) {
         const double dose_now = baseDose_[i] + rate_[i] * window;
@@ -186,6 +188,7 @@ BeamSource::settle()
 void
 BeamSource::injectEvent(const mem::BeamTarget &target, double delta_v)
 {
+    telemetry::count(telemetry::Counter::BeamArrivals);
     mem::SramArray &array = *target.array;
     const unsigned cluster = mbu_->sampleClusterSize(delta_v, rng_);
     const size_t words = array.words();
@@ -224,8 +227,10 @@ BeamSource::advance(Tick elapsed)
         return;
     nowTick_ += elapsed;
     fluence_ += effectiveFlux() * ticks::toSeconds(elapsed);
-    if (config_.skipAhead && nowTick_ < nextSettleTick_)
+    if (config_.skipAhead && nowTick_ < nextSettleTick_) {
+        telemetry::count(telemetry::Counter::BeamQuantaSkipped);
         return;
+    }
     settle();
     if (config_.skipAhead)
         scheduleNextSettle();

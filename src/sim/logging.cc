@@ -22,12 +22,14 @@ Logger::emit(LogLevel level, const std::string &tag,
 {
     if (static_cast<int>(level) > static_cast<int>(level_))
         return;
+    invokeLineHook();
     std::fprintf(stderr, "%s: %s\n", tag.c_str(), message.c_str());
 }
 
 void
 fatal(const std::string &message)
 {
+    Logger::global().invokeLineHook();
     std::fprintf(stderr, "fatal: %s\n", message.c_str());
     std::exit(1);
 }
@@ -35,6 +37,7 @@ fatal(const std::string &message)
 void
 panic(const std::string &message)
 {
+    Logger::global().invokeLineHook();
     std::fprintf(stderr, "panic: %s\n", message.c_str());
     std::abort();
 }

@@ -26,15 +26,37 @@ enum class LogLevel {
 /**
  * Process-wide logging configuration. A single global instance keeps the
  * library dependency-free; tests may lower the level to keep output quiet.
+ *
+ * Output precedence with the telemetry progress line (src/telemetry):
+ *  - LogLevel::Quiet suppresses warn/inform/debug output AND the live
+ *    progress line (--quiet wins over --progress);
+ *  - at any other level, the registered line hook runs before every
+ *    emitted message (and before fatal/panic output), so the progress
+ *    line is erased first and log lines never interleave mid-line;
+ *  - fatal/panic always print, but still run the hook so the terminal
+ *    is left clean.
  */
 class Logger
 {
   public:
+    /** Erases transient terminal state (e.g. a progress line). */
+    using LineHook = void (*)();
+
     /** Access the global logger. */
     static Logger &global();
 
     LogLevel level() const { return level_; }
     void setLevel(LogLevel level) { level_ = level; }
+
+    /** Install (or clear, with nullptr) the pre-output line hook. */
+    void setLineHook(LineHook hook) { lineHook_ = hook; }
+
+    /** Run the line hook, if any (used by fatal/panic too). */
+    void invokeLineHook()
+    {
+        if (lineHook_ != nullptr)
+            lineHook_();
+    }
 
     /** Emit a message at the given level to stderr. */
     void emit(LogLevel level, const std::string &tag,
@@ -42,6 +64,7 @@ class Logger
 
   private:
     LogLevel level_ = LogLevel::Warn;
+    LineHook lineHook_ = nullptr;
 };
 
 /** Report a user-facing configuration error and terminate with exit(1). */

@@ -85,6 +85,21 @@ Histogram::toString() const
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    if (other.lo_ != lo_ || other.hi_ != hi_ ||
+        other.counts_.size() != counts_.size())
+        fatal(msg("histogram merge shape mismatch: [", lo_, ", ", hi_,
+                  ") x", counts_.size(), " vs [", other.lo_, ", ",
+                  other.hi_, ") x", other.counts_.size()));
+    for (size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+}
+
+void
 Histogram::clear()
 {
     std::fill(counts_.begin(), counts_.end(), 0);

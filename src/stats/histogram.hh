@@ -41,6 +41,21 @@ class Histogram
     /** Number of uniform bins. */
     size_t bins() const { return counts_.size(); }
 
+    /** Inclusive lower edge of the histogram range. */
+    double low() const { return lo_; }
+
+    /** Exclusive upper edge of the histogram range. */
+    double high() const { return hi_; }
+
+    /**
+     * Fold another histogram of the same shape in (bin-wise count
+     * sums, plus under/overflow and totals). Integer addition is
+     * associative and commutative, so any merge order yields the same
+     * counts -- the property the telemetry shard merge relies on.
+     * Fatal on a shape mismatch (different range or bin count).
+     */
+    void merge(const Histogram &other);
+
     /** Samples below the histogram range. */
     uint64_t underflow() const { return underflow_; }
 

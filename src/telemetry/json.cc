@@ -1,0 +1,218 @@
+/**
+ * @file
+ * JsonWriter implementation.
+ */
+
+#include "telemetry/json.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace xser::telemetry {
+
+std::string
+JsonWriter::formatDouble(double number)
+{
+    char buffer[40];
+    // Walk precisions up until the rendering parses back exactly;
+    // %.17g always does, so the loop terminates.
+    for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buffer, sizeof(buffer), "%.*g", precision,
+                      number);
+        if (std::strtod(buffer, nullptr) == number)
+            break;
+    }
+    // JSON has no infinity/nan literals; clamp to null-adjacent text
+    // rather than emitting an unparseable token.
+    if (std::strcmp(buffer, "inf") == 0 ||
+        std::strcmp(buffer, "-inf") == 0 ||
+        std::strcmp(buffer, "nan") == 0 ||
+        std::strcmp(buffer, "-nan") == 0)
+        return "null";
+    return buffer;
+}
+
+std::string
+JsonWriter::quote(const std::string &text)
+{
+    std::string out = "\"";
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char escaped[8];
+                std::snprintf(escaped, sizeof(escaped), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += escaped;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+void
+JsonWriter::indent()
+{
+    out_.append(2 * stack_.size(), ' ');
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (stack_.empty()) {
+        XSER_ASSERT(out_.empty(),
+                    "json: only one top-level value allowed");
+        return;
+    }
+    Scope &scope = stack_.back();
+    if (scope.kind == '{') {
+        XSER_ASSERT(scope.keyPending,
+                    "json: value inside an object needs a key first");
+        scope.keyPending = false;
+        return;
+    }
+    if (scope.items > 0)
+        out_ += ",";
+    out_ += "\n";
+    indent();
+    ++scope.items;
+}
+
+void
+JsonWriter::key(const char *name)
+{
+    XSER_ASSERT(!stack_.empty() && stack_.back().kind == '{',
+                "json: key() outside an object");
+    Scope &scope = stack_.back();
+    XSER_ASSERT(!scope.keyPending, "json: key() twice in a row");
+    if (scope.items > 0)
+        out_ += ",";
+    out_ += "\n";
+    indent();
+    out_ += quote(name);
+    out_ += ": ";
+    ++scope.items;
+    scope.keyPending = true;
+}
+
+void
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_ += "{";
+    stack_.push_back({'{', 0, false});
+}
+
+void
+JsonWriter::endObject()
+{
+    XSER_ASSERT(!stack_.empty() && stack_.back().kind == '{',
+                "json: endObject() without beginObject()");
+    XSER_ASSERT(!stack_.back().keyPending,
+                "json: endObject() with a dangling key");
+    const size_t items = stack_.back().items;
+    stack_.pop_back();
+    if (items > 0) {
+        out_ += "\n";
+        indent();
+    }
+    out_ += "}";
+}
+
+void
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_ += "[";
+    stack_.push_back({'[', 0, false});
+}
+
+void
+JsonWriter::endArray()
+{
+    XSER_ASSERT(!stack_.empty() && stack_.back().kind == '[',
+                "json: endArray() without beginArray()");
+    const size_t items = stack_.back().items;
+    stack_.pop_back();
+    if (items > 0) {
+        out_ += "\n";
+        indent();
+    }
+    out_ += "]";
+}
+
+void
+JsonWriter::beginObject(const char *name)
+{
+    key(name);
+    beginObject();
+}
+
+void
+JsonWriter::beginArray(const char *name)
+{
+    key(name);
+    beginArray();
+}
+
+void
+JsonWriter::value(const std::string &text)
+{
+    beforeValue();
+    out_ += quote(text);
+}
+
+void
+JsonWriter::value(const char *text)
+{
+    value(std::string(text));
+}
+
+void
+JsonWriter::value(double number)
+{
+    beforeValue();
+    out_ += formatDouble(number);
+}
+
+void
+JsonWriter::value(uint64_t number)
+{
+    beforeValue();
+    out_ += std::to_string(number);
+}
+
+void
+JsonWriter::value(int64_t number)
+{
+    beforeValue();
+    out_ += std::to_string(number);
+}
+
+void
+JsonWriter::value(bool flag)
+{
+    beforeValue();
+    out_ += flag ? "true" : "false";
+}
+
+std::string
+JsonWriter::take()
+{
+    XSER_ASSERT(stack_.empty(), "json: take() with open scopes");
+    out_ += "\n";
+    return std::move(out_);
+}
+
+} // namespace xser::telemetry

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Manifest emission helpers and the paranoid JSON reader.
+ */
+
+#include "telemetry/manifest.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace xser::telemetry {
+
+const char *const manifestSchema = "xser-run-manifest";
+const char *const manifestTimingSection = "timing";
+
+const char *
+gitDescribe()
+{
+#ifdef XSER_GIT_DESCRIBE
+    return XSER_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
+}
+
+void
+writeSchemaPreamble(JsonWriter &json)
+{
+    json.member("schema", manifestSchema);
+    json.member("schema_version",
+                static_cast<uint64_t>(manifestSchemaVersion));
+}
+
+void
+writeCounters(JsonWriter &json, const MetricShard &merged)
+{
+    json.beginObject("counters");
+    for (size_t c = 0; c < numCounters; ++c)
+        json.member(counterName(static_cast<Counter>(c)),
+                    merged.counters[c]);
+    json.endObject();
+}
+
+namespace {
+
+/** One histogram as a JSON object (shape + counts). */
+void
+writeHistogram(JsonWriter &json, const char *name,
+               const Histogram &histogram)
+{
+    json.beginObject(name);
+    json.member("lo", histogram.low());
+    json.member("hi", histogram.high());
+    json.member("underflow", histogram.underflow());
+    json.member("overflow", histogram.overflow());
+    json.member("total", histogram.total());
+    json.beginArray("bins");
+    for (size_t i = 0; i < histogram.bins(); ++i)
+        json.value(histogram.binCount(i));
+    json.endArray();
+    json.endObject();
+}
+
+} // namespace
+
+void
+writeDistributions(JsonWriter &json, const MetricShard &merged)
+{
+    json.beginObject("distributions");
+    for (size_t d = 0; d < numDists; ++d) {
+        const Dist dist = static_cast<Dist>(d);
+        if (distIsTiming(dist))
+            continue;
+        writeHistogram(json, distName(dist), merged.dists[d]);
+    }
+    json.endObject();
+}
+
+void
+writeTiming(JsonWriter &json, const MetricRegistry &registry,
+            unsigned jobs, double elapsed_seconds)
+{
+    const MetricShard merged = registry.merged();
+    json.beginObject(manifestTimingSection);
+    json.member("jobs", static_cast<uint64_t>(jobs));
+    json.member("shards",
+                static_cast<uint64_t>(registry.shardCount()));
+    json.member("elapsed_seconds", elapsed_seconds);
+    json.beginObject("phase_seconds");
+    for (size_t p = 0; p < numPhases; ++p)
+        json.member(phaseName(static_cast<Phase>(p)),
+                    merged.phaseSeconds[p]);
+    json.endObject();
+    json.beginArray("workers");
+    for (size_t s = 0; s < registry.shardCount(); ++s) {
+        const MetricShard &shard = registry.shard(s);
+        double busy = 0.0;
+        for (size_t p = 0; p < numPhases; ++p)
+            busy += shard.phaseSeconds[p];
+        json.beginObject();
+        json.member("units", shard.unitsExecuted);
+        json.member("busy_seconds", busy);
+        json.endObject();
+    }
+    json.endArray();
+    json.beginObject("distributions");
+    for (size_t d = 0; d < numDists; ++d) {
+        const Dist dist = static_cast<Dist>(d);
+        if (!distIsTiming(dist))
+            continue;
+        writeHistogram(json, distName(dist), merged.dists[d]);
+    }
+    json.endObject();
+    json.endObject();
+}
+
+const JsonValue *
+JsonValue::find(const std::string &name) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[key, member] : members)
+        if (key == name)
+            return &member;
+    return nullptr;
+}
+
+namespace {
+
+/** Recursive-descent JSON parser; fails loudly, never crashes. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    ParsedJson
+    run()
+    {
+        ParsedJson parsed;
+        skipSpace();
+        if (!parseValue(parsed.root, 0)) {
+            parsed.error = error_;
+            return parsed;
+        }
+        skipSpace();
+        if (pos_ != text_.size()) {
+            parsed.error = at("trailing garbage after document");
+            return parsed;
+        }
+        parsed.ok = true;
+        return parsed;
+    }
+
+  private:
+    static constexpr int maxDepth = 64;
+
+    std::string
+    at(const std::string &what) const
+    {
+        return what + " at byte " + std::to_string(pos_);
+    }
+
+    bool
+    fail(const std::string &what)
+    {
+        if (error_.empty())
+            error_ = at(what);
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const size_t length = std::strlen(word);
+        if (text_.compare(pos_, length, word) != 0)
+            return false;
+        pos_ += length;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                if (pos_ + 1 >= text_.size())
+                    return fail("unterminated escape");
+                const char escaped = text_[pos_ + 1];
+                pos_ += 2;
+                switch (escaped) {
+                  case '"': out.push_back('"'); break;
+                  case '\\': out.push_back('\\'); break;
+                  case '/': out.push_back('/'); break;
+                  case 'n': out.push_back('\n'); break;
+                  case 'r': out.push_back('\r'); break;
+                  case 't': out.push_back('\t'); break;
+                  case 'b': out.push_back('\b'); break;
+                  case 'f': out.push_back('\f'); break;
+                  case 'u': {
+                      if (pos_ + 4 > text_.size())
+                          return fail("unterminated \\u escape");
+                      unsigned code = 0;
+                      for (unsigned i = 0; i < 4; ++i) {
+                          const char h = text_[pos_ + i];
+                          if (!std::isxdigit(
+                                  static_cast<unsigned char>(h)))
+                              return fail("bad \\u escape digit");
+                          code = code * 16 +
+                                 static_cast<unsigned>(
+                                     h <= '9' ? h - '0'
+                                              : (h | 0x20) - 'a' + 10);
+                      }
+                      pos_ += 4;
+                      // Manifests are ASCII; keep non-ASCII escapes
+                      // as replacement bytes rather than rejecting.
+                      out.push_back(code < 0x80
+                                        ? static_cast<char>(code)
+                                        : '?');
+                      break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+                continue;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            out.push_back(c);
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        bool digits = false;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+            digits = true;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (!digits)
+            return fail("malformed number");
+        out.kind = JsonValue::Kind::Number;
+        out.text = text_.substr(start, pos_ - start);
+        out.number = std::strtod(out.text.c_str(), nullptr);
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > maxDepth)
+            return fail("nesting too deep");
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        const char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            out.kind = JsonValue::Kind::Object;
+            skipSpace();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                skipSpace();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipSpace();
+                if (pos_ >= text_.size() || text_[pos_] != ':')
+                    return fail("expected ':' after object key");
+                ++pos_;
+                JsonValue member;
+                if (!parseValue(member, depth + 1))
+                    return false;
+                out.members.emplace_back(std::move(key),
+                                         std::move(member));
+                skipSpace();
+                if (pos_ >= text_.size())
+                    return fail("unterminated object");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or '}' in object");
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out.kind = JsonValue::Kind::Array;
+            skipSpace();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                JsonValue element;
+                if (!parseValue(element, depth + 1))
+                    return false;
+                out.elements.push_back(std::move(element));
+                skipSpace();
+                if (pos_ >= text_.size())
+                    return fail("unterminated array");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or ']' in array");
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.text);
+        }
+        if (c == 't') {
+            if (!literal("true"))
+                return fail("bad literal");
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return true;
+        }
+        if (c == 'f') {
+            if (!literal("false"))
+                return fail("bad literal");
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return true;
+        }
+        if (c == 'n') {
+            if (!literal("null"))
+                return fail("bad literal");
+            out.kind = JsonValue::Kind::Null;
+            return true;
+        }
+        return parseNumber(out);
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+ParsedJson
+parseJson(const std::string &text)
+{
+    return JsonParser(text).run();
+}
+
+} // namespace xser::telemetry

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * ProgressMeter implementation.
+ */
+
+#include "telemetry/progress.hh"
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "sim/logging.hh"
+#include "telemetry/stopwatch.hh"
+
+namespace xser::telemetry {
+
+namespace {
+
+/** The single active meter the logger line hook erases for. */
+ProgressMeter *activeMeter = nullptr;
+std::mutex activeMeterMutex;
+
+/** Logger line hook: wipe the progress line before a log message. */
+void
+eraseProgressLine()
+{
+    std::lock_guard<std::mutex> lock(activeMeterMutex);
+    if (activeMeter != nullptr) {
+        std::fputs("\r\x1b[K", stderr);
+        std::fflush(stderr);
+    }
+}
+
+} // namespace
+
+bool
+progressSupported()
+{
+    return isatty(fileno(stderr)) != 0;
+}
+
+ProgressMeter::~ProgressMeter()
+{
+    finish();
+}
+
+void
+ProgressMeter::begin(const std::string &label, uint64_t total_units)
+{
+    std::lock_guard<std::mutex> lock(activeMeterMutex);
+    if (active_ || activeMeter != nullptr)
+        return;
+    label_ = label;
+    total_ = total_units;
+    done_.store(0, std::memory_order_relaxed);
+    startNanos_ = monotonicNanos();
+    lastRenderNanos_ = 0;
+    active_ = true;
+    activeMeter = this;
+    Logger::global().setLineHook(&eraseProgressLine);
+}
+
+void
+ProgressMeter::tick(uint64_t delta)
+{
+    if (!active_)
+        return;
+    const uint64_t done =
+        done_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    maybeRender(done >= total_);
+}
+
+void
+ProgressMeter::maybeRender(bool force)
+{
+    std::lock_guard<std::mutex> lock(renderMutex_);
+    const uint64_t now = monotonicNanos();
+    // Repaint at most ~10x a second; the final state always renders.
+    if (!force && now - lastRenderNanos_ < 100'000'000ull)
+        return;
+    lastRenderNanos_ = now;
+    const double elapsed =
+        static_cast<double>(now - startNanos_) * 1e-9;
+    const std::string line = renderLine(
+        label_, done_.load(std::memory_order_relaxed), total_, elapsed);
+    std::lock_guard<std::mutex> active_lock(activeMeterMutex);
+    if (activeMeter != this)
+        return;
+    std::fprintf(stderr, "\r%s\x1b[K", line.c_str());
+    std::fflush(stderr);
+}
+
+void
+ProgressMeter::finish()
+{
+    std::lock_guard<std::mutex> lock(activeMeterMutex);
+    if (!active_)
+        return;
+    active_ = false;
+    if (activeMeter == this) {
+        activeMeter = nullptr;
+        Logger::global().setLineHook(nullptr);
+        std::fputs("\r\x1b[K", stderr);
+        std::fflush(stderr);
+    }
+}
+
+std::string
+ProgressMeter::renderLine(const std::string &label, uint64_t done,
+                          uint64_t total, double elapsed_seconds)
+{
+    char buffer[160];
+    const double fraction =
+        total > 0 ? static_cast<double>(done) /
+                        static_cast<double>(total)
+                  : 0.0;
+    const double rate = elapsed_seconds > 0.0
+                            ? static_cast<double>(done) /
+                                  elapsed_seconds
+                            : 0.0;
+    if (done < total && rate > 0.0) {
+        const double eta =
+            static_cast<double>(total - done) / rate;
+        std::snprintf(buffer, sizeof(buffer),
+                      "%s %llu/%llu units (%.0f%%) | %.2f units/s "
+                      "| ETA %.0fs",
+                      label.c_str(),
+                      static_cast<unsigned long long>(done),
+                      static_cast<unsigned long long>(total),
+                      100.0 * fraction, rate, eta);
+    } else {
+        std::snprintf(buffer, sizeof(buffer),
+                      "%s %llu/%llu units (%.0f%%) | %.2f units/s",
+                      label.c_str(),
+                      static_cast<unsigned long long>(done),
+                      static_cast<unsigned long long>(total),
+                      100.0 * fraction, rate);
+    }
+    return buffer;
+}
+
+} // namespace xser::telemetry

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Live stderr progress line for long campaign runs.
+ *
+ * The meter renders `label done/total (pct) | rate | ETA` on a single
+ * line, rewriting it in place (carriage return + clear-to-end). It
+ * composes with sim/logging through the Logger line hook: the hook
+ * erases the active progress line before any log message prints, so
+ * warnings never interleave mid-line; the next tick repaints.
+ *
+ * Precedence (documented here and in sim/logging.hh):
+ *  - LogLevel::Quiet suppresses progress entirely (--quiet wins over
+ *    --progress);
+ *  - a non-TTY stderr suppresses the live line (progressSupported()),
+ *    so redirected runs never fill logs with control characters;
+ *  - progress output goes to stderr only -- stdout stays report-clean.
+ *
+ * Thread-safe: workers tick an atomic counter; rendering is throttled
+ * and serialized behind a mutex. Like every telemetry path, the meter
+ * only observes -- it never touches simulated state, RNG streams, or
+ * the sim clock, and results are bit-identical with it on or off.
+ */
+
+#ifndef XSER_TELEMETRY_PROGRESS_HH
+#define XSER_TELEMETRY_PROGRESS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace xser::telemetry {
+
+/** True when stderr is an interactive terminal. */
+bool progressSupported();
+
+/** Single-line progress meter (one active instance at a time). */
+class ProgressMeter
+{
+  public:
+    ProgressMeter() = default;
+    ~ProgressMeter();
+
+    ProgressMeter(const ProgressMeter &) = delete;
+    ProgressMeter &operator=(const ProgressMeter &) = delete;
+
+    /**
+     * Activate the meter for `total_units` of work. Registers the
+     * logger line hook; no-op when already active.
+     */
+    void begin(const std::string &label, uint64_t total_units);
+
+    /** Record `delta` finished units (thread-safe; may repaint). */
+    void tick(uint64_t delta = 1);
+
+    /** Erase the line and deactivate (idempotent). */
+    void finish();
+
+    /**
+     * Render the line body for a given state -- pure and testable:
+     * no clock reads, no terminal writes.
+     */
+    static std::string renderLine(const std::string &label,
+                                  uint64_t done, uint64_t total,
+                                  double elapsed_seconds);
+
+  private:
+    void maybeRender(bool force);
+
+    std::atomic<uint64_t> done_{0};
+    uint64_t total_ = 0;
+    std::string label_;
+    bool active_ = false;
+    uint64_t startNanos_ = 0;
+    uint64_t lastRenderNanos_ = 0;
+    std::mutex renderMutex_;
+};
+
+} // namespace xser::telemetry
+
+#endif // XSER_TELEMETRY_PROGRESS_HH

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * The telemetry layer's single wall-clock read site.
+ */
+
+#include "telemetry/stopwatch.hh"
+
+#include <chrono>
+
+namespace xser::telemetry {
+
+uint64_t
+monotonicNanos()
+{
+    const auto now = std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now.time_since_epoch())
+            .count());
+}
+
+} // namespace xser::telemetry

@@ -227,6 +227,81 @@ TEST(Histogram, ClearResets)
     EXPECT_EQ(histogram.binCount(1), 0u);
 }
 
+TEST(Histogram, MergeOfEmptyIsIdentity)
+{
+    Histogram histogram(0.0, 4.0, 4);
+    histogram.add(1.5, 3);
+    const Histogram empty(0.0, 4.0, 4);
+    histogram.merge(empty);
+    EXPECT_EQ(histogram.binCount(1), 3u);
+    EXPECT_EQ(histogram.total(), 3u);
+
+    Histogram fresh(0.0, 4.0, 4);
+    fresh.merge(histogram);
+    EXPECT_EQ(fresh.binCount(1), 3u);
+    EXPECT_EQ(fresh.total(), 3u);
+}
+
+TEST(Histogram, MergeSingleBucket)
+{
+    Histogram a(0.0, 1.0, 1);
+    Histogram b(0.0, 1.0, 1);
+    a.add(0.25);
+    b.add(0.75, 4);
+    a.merge(b);
+    EXPECT_EQ(a.binCount(0), 5u);
+    EXPECT_EQ(a.total(), 5u);
+}
+
+TEST(Histogram, MergeSumsUnderAndOverflow)
+{
+    Histogram a(0.0, 10.0, 10);
+    Histogram b(0.0, 10.0, 10);
+    a.add(-1.0);
+    a.add(25.0);
+    b.add(-2.0);
+    b.add(10.0);
+    b.add(30.0);
+    b.add(5.0);
+    a.merge(b);
+    EXPECT_EQ(a.underflow(), 2u);
+    EXPECT_EQ(a.overflow(), 3u);
+    EXPECT_EQ(a.binCount(5), 1u);
+    EXPECT_EQ(a.total(), 6u);
+}
+
+TEST(Histogram, MergeIsOrderIndependent)
+{
+    Histogram ab(0.0, 8.0, 8);
+    Histogram ba(0.0, 8.0, 8);
+    Histogram a(0.0, 8.0, 8);
+    Histogram b(0.0, 8.0, 8);
+    a.add(1.0, 2);
+    a.add(9.0);
+    b.add(6.5, 7);
+    b.add(-3.0);
+    ab.merge(a);
+    ab.merge(b);
+    ba.merge(b);
+    ba.merge(a);
+    for (size_t i = 0; i < ab.bins(); ++i)
+        EXPECT_EQ(ab.binCount(i), ba.binCount(i));
+    EXPECT_EQ(ab.underflow(), ba.underflow());
+    EXPECT_EQ(ab.overflow(), ba.overflow());
+    EXPECT_EQ(ab.total(), ba.total());
+}
+
+TEST(Histogram, MergeShapeMismatchIsFatal)
+{
+    Histogram a(0.0, 4.0, 4);
+    const Histogram different_bins(0.0, 4.0, 8);
+    const Histogram different_range(0.0, 8.0, 4);
+    EXPECT_EXIT(a.merge(different_bins),
+                ::testing::ExitedWithCode(1), "shape");
+    EXPECT_EXIT(a.merge(different_range),
+                ::testing::ExitedWithCode(1), "shape");
+}
+
 TEST(Histogram, ToStringRendersBars)
 {
     Histogram histogram(0.0, 2.0, 2);

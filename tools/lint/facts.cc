@@ -79,9 +79,9 @@ layerRanks()
 {
     static const std::map<std::string, int> ranks{
         {"sim", 0},   {"stats", 1},     {"trace", 1}, {"ecc", 1},
-        {"volt", 1},  {"mem", 2},       {"workloads", 3},
-        {"rad", 3},   {"cpu", 3},       {"inject", 4}, {"core", 5},
-        {"cli", 6},
+        {"volt", 1},  {"telemetry", 2}, {"mem", 3},
+        {"workloads", 4}, {"rad", 4},   {"cpu", 4},   {"inject", 5},
+        {"core", 6},  {"cli", 7},
     };
     return ranks;
 }
@@ -474,6 +474,57 @@ checkFastpathParity(const std::vector<FileFacts> &facts,
                  "exercised by any differential test under tests/; an "
                  "untested reference cannot anchor the fast path's "
                  "observational-equivalence contract"});
+    }
+    return diags;
+}
+
+std::vector<Diagnostic>
+checkTelemetryPurity(const std::vector<FileFacts> &facts)
+{
+    // Wall-clock headers a simulation TU must never see directly; the
+    // sole access point is src/telemetry/stopwatch.cc's monotonicNanos.
+    static const std::set<std::string> clock_headers{
+        "chrono", "ctime", "time.h", "sys/time.h", "sys/times.h"};
+    // Determinism-critical files that must not observe telemetry at
+    // all: the RNG stream derivation and the snapshot codec define the
+    // replayable state, and an (even accidental) telemetry dependency
+    // there would let wall-clock data leak into it.
+    static const std::set<std::string> shielded{
+        "src/sim/rng.hh", "src/sim/rng.cc", "src/sim/snapshot.hh",
+        "src/sim/snapshot.cc"};
+
+    std::vector<Diagnostic> diags;
+    for (const FileFacts &file : facts) {
+        const bool in_src = startsWith(file.path, "src/");
+        const bool in_telemetry =
+            startsWith(file.path, "src/telemetry/");
+        const bool is_shielded = shielded.count(file.path) > 0;
+        if (!in_src)
+            continue;
+        for (const IncludeFact &include : file.includes) {
+            if (!in_telemetry && !include.quoted &&
+                clock_headers.count(include.target)) {
+                diags.push_back(
+                    {file.path, include.line, "telemetry-purity",
+                     include.target,
+                     "wall-clock header <" + include.target +
+                         "> included outside src/telemetry; all timing "
+                         "goes through telemetry::Stopwatch / "
+                         "monotonicNanos so clock reads stay confined "
+                         "to one audited translation unit"});
+            }
+            if (is_shielded && include.quoted &&
+                startsWith(include.target, "telemetry/")) {
+                diags.push_back(
+                    {file.path, include.line, "telemetry-purity",
+                     include.target,
+                     "determinism-critical file " + file.path +
+                         " includes \"" + include.target + "\"; RNG "
+                         "stream derivation and the snapshot codec "
+                         "must stay observable-state only -- telemetry "
+                         "must never feed back into them"});
+            }
+        }
     }
     return diags;
 }

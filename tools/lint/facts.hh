@@ -18,7 +18,9 @@
  *    and every switch over `EventType` must cover the same event set;
  *  - fastpath-parity: every `*Reference` / `*_reference` implementation
  *    in `src/` must sit next to its fast counterpart and be exercised
- *    by a differential test under `tests/`.
+ *    by a differential test under `tests/`;
+ *  - telemetry-purity: wall-clock headers stay confined to
+ *    `src/telemetry/`, and RNG/snapshot code never includes telemetry.
  */
 
 #ifndef XSER_TOOLS_LINT_FACTS_HH
@@ -110,6 +112,14 @@ checkTraceSchemaSync(const std::vector<FileFacts> &facts);
 std::vector<Diagnostic>
 checkFastpathParity(const std::vector<FileFacts> &facts,
                     const std::vector<FileFacts> &test_facts);
+
+/**
+ * Rule "telemetry-purity": wall-clock headers appear only under
+ * src/telemetry/, and the determinism-critical files (src/sim/rng.*,
+ * src/sim/snapshot.*) never include a telemetry header.
+ */
+std::vector<Diagnostic>
+checkTelemetryPurity(const std::vector<FileFacts> &facts);
 
 } // namespace xser::lint
 

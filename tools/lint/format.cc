@@ -72,6 +72,10 @@ ruleTable()
          "Every reference implementation in src/ has a fast "
          "counterpart and a differential test under tests/.",
          true},
+        {"telemetry-purity",
+         "Wall-clock headers live only under src/telemetry, and RNG/"
+         "snapshot code never includes a telemetry header.",
+         true},
     };
     return rules;
 }

@@ -296,6 +296,7 @@ runLint(const LintConfig &config)
         append(checkLayering(tree_facts));
         append(checkTraceSchemaSync(tree_facts));
         append(checkFastpathParity(tree_facts, test_facts));
+        append(checkTelemetryPurity(tree_facts));
     }
 
     // --diff mode: only report findings in the requested files.

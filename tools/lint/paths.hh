@@ -48,7 +48,9 @@ inOrderSensitiveDir(const std::string &path)
 inline bool
 wallclockSanctioned(const std::string &path)
 {
-    return path == "src/sim/rng.cc" || pathStartsWith(path, "src/cli/");
+    return path == "src/sim/rng.cc" ||
+           pathStartsWith(path, "src/cli/") ||
+           pathStartsWith(path, "src/telemetry/");
 }
 
 inline bool
@@ -57,14 +59,17 @@ rawRngSanctioned(const std::string &path)
     return path == "src/sim/rng.cc" || path == "src/sim/rng.hh";
 }
 
-/** The canonical worker-pool fan-in, plus the lint scanner itself:
- *  the analyzer parallelizes its file walk but merges results in
- *  canonical file order, and it never touches simulation state. */
+/** The canonical worker-pool fan-in, the lint scanner itself (the
+ *  analyzer parallelizes its file walk but merges results in canonical
+ *  file order, and it never touches simulation state), and telemetry
+ *  (per-worker shards use atomics/mutexes only for the live progress
+ *  line; metric merges run in canonical shard order). */
 inline bool
 fanInSanctioned(const std::string &path)
 {
     return path == "src/core/parallel_campaign.cc" ||
-           pathStartsWith(path, "tools/lint/");
+           pathStartsWith(path, "tools/lint/") ||
+           pathStartsWith(path, "src/telemetry/");
 }
 
 /** Simulation code subject to RNG stream discipline. */

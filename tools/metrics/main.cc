@@ -1,0 +1,103 @@
+/**
+ * @file
+ * xser-metrics: inspect and compare run manifests (--metrics output).
+ *
+ *   xser-metrics summarize --in run.json
+ *   xser-metrics diff      --a one.json --b two.json [--all]
+ *   xser-metrics to-csv    --in run.json
+ *
+ * `diff` skips the wall-clock "timing" section unless --all is given,
+ * so two runs of the same experiment -- at any --jobs -- exit 0.
+ *
+ * Exit status: 0 on success, 1 on an unreadable/invalid manifest or a
+ * diff mismatch, 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "cli/args.hh"
+#include "metrics/metrics_tool.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace xser;
+
+void
+printUsage()
+{
+    std::printf(
+        "usage: xser-metrics <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  summarize  run provenance, counters, headline, timing\n"
+        "               --in FILE\n"
+        "  diff       structural comparison; exit 1 when different\n"
+        "               --a FILE --b FILE [--all: include the\n"
+        "               wall-clock 'timing' section, which differs\n"
+        "               between any two real runs]\n"
+        "  to-csv     flat path,value CSV of every scalar on stdout\n"
+        "               --in FILE\n");
+}
+
+int
+usage()
+{
+    printUsage();
+    return 2;
+}
+
+/** Load a manifest or die with its decode error. */
+metricstool::ManifestFile
+load(const cli::Args &args, const std::string &key)
+{
+    const std::string path = args.get(key, "");
+    if (path.empty())
+        fatal(msg("missing required option --", key, " <file>"));
+    metricstool::ManifestFile file = metricstool::loadManifest(path);
+    if (!file.ok)
+        fatal(msg(path, ": ", file.error));
+    return file;
+}
+
+int
+cmdDiff(const cli::Args &args)
+{
+    const metricstool::ManifestFile a = load(args, "a");
+    const metricstool::ManifestFile b = load(args, "b");
+    bool identical = false;
+    std::printf("%s",
+                metricstool::diffManifests(a, b, args.has("all"),
+                                           identical)
+                    .c_str());
+    return identical ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const cli::Args args = cli::Args::parse(argc, argv);
+    const std::string &command = args.command();
+    // `--help` parses as an option (no command), `help`/`-h` as a
+    // command; all three print the usage text and exit 0.
+    if (command == "help" || command == "-h" || args.has("help")) {
+        printUsage();
+        return 0;
+    }
+    if (command == "summarize") {
+        std::printf("%s",
+                    metricstool::summarize(load(args, "in")).c_str());
+        return 0;
+    }
+    if (command == "diff")
+        return cmdDiff(args);
+    if (command == "to-csv") {
+        std::printf("%s",
+                    metricstool::toCsv(load(args, "in")).c_str());
+        return 0;
+    }
+    return usage();
+}

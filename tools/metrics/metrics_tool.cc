@@ -1,0 +1,314 @@
+/**
+ * @file
+ * xser-metrics pass implementations.
+ */
+
+#include "metrics/metrics_tool.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+namespace xser::metricstool {
+
+namespace {
+
+using telemetry::JsonValue;
+
+/** Exact text form of a scalar (numbers keep their raw token). */
+std::string
+scalarText(const JsonValue &value)
+{
+    switch (value.kind) {
+    case JsonValue::Kind::Null:
+        return "null";
+    case JsonValue::Kind::Bool:
+        return value.boolean ? "true" : "false";
+    case JsonValue::Kind::Number:
+    case JsonValue::Kind::String:
+        return value.text;
+    case JsonValue::Kind::Object:
+        return "<object>";
+    case JsonValue::Kind::Array:
+        return "<array>";
+    }
+    return "<?>";
+}
+
+const char *
+kindName(JsonValue::Kind kind)
+{
+    switch (kind) {
+    case JsonValue::Kind::Null:
+        return "null";
+    case JsonValue::Kind::Bool:
+        return "bool";
+    case JsonValue::Kind::Number:
+        return "number";
+    case JsonValue::Kind::String:
+        return "string";
+    case JsonValue::Kind::Object:
+        return "object";
+    case JsonValue::Kind::Array:
+        return "array";
+    }
+    return "?";
+}
+
+/** Scalar member's text, or `fallback` when absent / aggregate. */
+std::string
+memberText(const JsonValue &object, const std::string &name,
+           const std::string &fallback = "-")
+{
+    const JsonValue *member = object.find(name);
+    if (member == nullptr ||
+        member->kind == JsonValue::Kind::Object ||
+        member->kind == JsonValue::Kind::Array)
+        return fallback;
+    return scalarText(*member);
+}
+
+void
+appendLine(std::string &out, const std::string &line)
+{
+    out += line;
+    out += '\n';
+}
+
+/**
+ * Structural equality walk. Appends one line per differing path;
+ * returns true when the subtrees match exactly. Numbers compare by
+ * raw token: the writer emits canonical shortest-round-trip text, so
+ * equal values have equal tokens.
+ */
+bool
+diffValue(const JsonValue &a, const JsonValue &b,
+          const std::string &path, bool include_timing,
+          std::string &out)
+{
+    if (a.kind != b.kind) {
+        appendLine(out, path + ": kind " + kindName(a.kind) +
+                            " != " + kindName(b.kind));
+        return false;
+    }
+    switch (a.kind) {
+    case JsonValue::Kind::Null:
+        return true;
+    case JsonValue::Kind::Bool:
+    case JsonValue::Kind::Number:
+    case JsonValue::Kind::String:
+        if (scalarText(a) != scalarText(b)) {
+            appendLine(out, path + ": " + scalarText(a) +
+                                " != " + scalarText(b));
+            return false;
+        }
+        return true;
+    case JsonValue::Kind::Array: {
+        bool equal = true;
+        if (a.elements.size() != b.elements.size()) {
+            appendLine(out, path + ": length " +
+                                std::to_string(a.elements.size()) +
+                                " != " +
+                                std::to_string(b.elements.size()));
+            equal = false;
+        }
+        const size_t shared =
+            std::min(a.elements.size(), b.elements.size());
+        for (size_t i = 0; i < shared; ++i) {
+            equal &= diffValue(a.elements[i], b.elements[i],
+                               path + "[" + std::to_string(i) + "]",
+                               include_timing, out);
+        }
+        return equal;
+    }
+    case JsonValue::Kind::Object: {
+        bool equal = true;
+        const bool at_root = path.empty();
+        for (const auto &[name, value] : a.members) {
+            (void)value;
+            if (at_root && !include_timing &&
+                name == telemetry::manifestTimingSection)
+                continue;
+            if (b.find(name) == nullptr) {
+                appendLine(out, (at_root ? name : path + "." + name) +
+                                    ": only in first manifest");
+                equal = false;
+            }
+        }
+        for (const auto &[name, value] : b.members) {
+            if (at_root && !include_timing &&
+                name == telemetry::manifestTimingSection)
+                continue;
+            const std::string child =
+                at_root ? name : path + "." + name;
+            const JsonValue *other = a.find(name);
+            if (other == nullptr) {
+                appendLine(out, child + ": only in second manifest");
+                equal = false;
+                continue;
+            }
+            equal &= diffValue(*other, value, child, include_timing,
+                               out);
+        }
+        return equal;
+    }
+    }
+    return false;
+}
+
+/** Flatten every scalar into `path,value` CSV rows. */
+void
+flatten(const JsonValue &value, const std::string &path,
+        std::string &out)
+{
+    switch (value.kind) {
+    case JsonValue::Kind::Object:
+        for (const auto &[name, member] : value.members)
+            flatten(member, path.empty() ? name : path + "." + name,
+                    out);
+        return;
+    case JsonValue::Kind::Array:
+        for (size_t i = 0; i < value.elements.size(); ++i)
+            flatten(value.elements[i],
+                    path + "[" + std::to_string(i) + "]", out);
+        return;
+    default:
+        break;
+    }
+    std::string text = scalarText(value);
+    // CSV-quote string payloads that could break the two-column shape.
+    if (value.kind == JsonValue::Kind::String &&
+        text.find_first_of(",\"\n") != std::string::npos) {
+        std::string quoted = "\"";
+        for (char c : text) {
+            if (c == '"')
+                quoted += '"';
+            quoted += c;
+        }
+        quoted += '"';
+        text = std::move(quoted);
+    }
+    appendLine(out, path + "," + text);
+}
+
+ManifestFile
+failure(std::string message)
+{
+    ManifestFile file;
+    file.error = std::move(message);
+    return file;
+}
+
+} // namespace
+
+ManifestFile
+loadManifest(const std::string &path)
+{
+    std::FILE *handle = std::fopen(path.c_str(), "rb");
+    if (handle == nullptr)
+        return failure("cannot open file");
+    std::string text;
+    char buffer[65536];
+    size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof(buffer), handle)) > 0)
+        text.append(buffer, got);
+    const bool read_error = std::ferror(handle) != 0;
+    std::fclose(handle);
+    if (read_error)
+        return failure("read error");
+
+    const telemetry::ParsedJson parsed = telemetry::parseJson(text);
+    if (!parsed.ok)
+        return failure(parsed.error);
+    if (parsed.root.kind != JsonValue::Kind::Object)
+        return failure("manifest root is not an object");
+
+    const JsonValue *schema = parsed.root.find("schema");
+    if (schema == nullptr ||
+        schema->kind != JsonValue::Kind::String ||
+        schema->text != telemetry::manifestSchema)
+        return failure("not an xser-run-manifest document");
+    const JsonValue *version = parsed.root.find("schema_version");
+    if (version == nullptr ||
+        version->kind != JsonValue::Kind::Number ||
+        version->number != telemetry::manifestSchemaVersion)
+        return failure(
+            "unsupported schema_version (this tool reads version " +
+            std::to_string(telemetry::manifestSchemaVersion) + ")");
+
+    ManifestFile file;
+    file.ok = true;
+    file.root = parsed.root;
+    return file;
+}
+
+std::string
+summarize(const ManifestFile &file)
+{
+    std::string out;
+    const JsonValue &root = file.root;
+
+    appendLine(out, "=== run ===");
+    if (const JsonValue *run = root.find("run")) {
+        for (const auto &[name, value] : run->members)
+            appendLine(out, "  " + name + ": " + scalarText(value));
+    }
+
+    appendLine(out, "=== counters ===");
+    if (const JsonValue *counters = root.find("counters")) {
+        for (const auto &[name, value] : counters->members)
+            appendLine(out, "  " + name + ": " + scalarText(value));
+    }
+
+    appendLine(out, "=== headline ===");
+    if (const JsonValue *headline = root.find("headline")) {
+        for (const JsonValue &session : headline->elements) {
+            appendLine(out,
+                       "  " + memberText(session, "label") +
+                           ": runs=" + memberText(session, "runs") +
+                           " events=" + memberText(session, "events") +
+                           " FIT=" + memberText(session, "fit_total") +
+                           " DCS=" + memberText(session, "dcs_total"));
+        }
+    }
+
+    appendLine(out, "=== timing ===");
+    if (const JsonValue *timing =
+            root.find(telemetry::manifestTimingSection)) {
+        appendLine(out, "  jobs: " + memberText(*timing, "jobs"));
+        appendLine(out, "  elapsed_seconds: " +
+                            memberText(*timing, "elapsed_seconds"));
+        if (const JsonValue *phases = timing->find("phase_seconds")) {
+            for (const auto &[name, value] : phases->members)
+                appendLine(out,
+                           "  phase " + name + ": " +
+                               scalarText(value) + " s");
+        }
+    }
+    return out;
+}
+
+std::string
+diffManifests(const ManifestFile &a, const ManifestFile &b,
+              bool include_timing, bool &identical)
+{
+    std::string out;
+    identical =
+        diffValue(a.root, b.root, "", include_timing, out);
+    if (identical) {
+        appendLine(out, include_timing
+                            ? "manifests identical"
+                            : "manifests identical (timing skipped)");
+    }
+    return out;
+}
+
+std::string
+toCsv(const ManifestFile &file)
+{
+    std::string out = "path,value\n";
+    flatten(file.root, "", out);
+    return out;
+}
+
+} // namespace xser::metricstool

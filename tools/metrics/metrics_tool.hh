@@ -1,0 +1,55 @@
+/**
+ * @file
+ * xser-metrics passes: load, summarize, diff, and flatten run
+ * manifests (the JSON documents `xser campaign --metrics` writes).
+ *
+ * The passes are pure functions over the parsed document so
+ * tests/test_telemetry.cc can drive them in-process, mirroring the
+ * xser-trace tool's layout. `diffManifests` skips the "timing"
+ * section by default: everything outside it is a pure function of
+ * (config, seed), so two runs of the same experiment -- at any
+ * --jobs -- must compare byte-equal there, and the tool's exit
+ * status turns that contract into a shell-scriptable gate.
+ */
+
+#ifndef XSER_TOOLS_METRICS_METRICS_TOOL_HH
+#define XSER_TOOLS_METRICS_METRICS_TOOL_HH
+
+#include <string>
+
+#include "telemetry/manifest.hh"
+
+namespace xser::metricstool {
+
+/** A loaded and schema-checked run manifest. */
+struct ManifestFile {
+    bool ok = false;
+    std::string error; ///< decode/validation message when !ok
+    telemetry::JsonValue root;
+};
+
+/**
+ * Read and parse `path`. Paranoid-decode posture: any I/O failure,
+ * malformed JSON, wrong schema identifier, or unsupported
+ * schema_version yields ok = false with a message -- never a crash.
+ */
+ManifestFile loadManifest(const std::string &path);
+
+/** Human-readable run/counters/headline/timing summary. */
+std::string summarize(const ManifestFile &file);
+
+/**
+ * Structural comparison. Sets `identical`; the report lists every
+ * differing path. `include_timing` folds the "timing" section into
+ * the comparison (off by default: timing is wall-clock data and
+ * differs between any two runs).
+ */
+std::string diffManifests(const ManifestFile &a, const ManifestFile &b,
+                          bool include_timing, bool &identical);
+
+/** Flat `path,value` CSV of every scalar in the manifest. */
+std::string toCsv(const ManifestFile &file);
+
+} // namespace xser::metricstool
+
+#endif // XSER_TOOLS_METRICS_METRICS_TOOL_HH
