@@ -1,0 +1,154 @@
+/**
+ * @file
+ * xser-client: submit campaigns to an xser-server and collect the
+ * artifacts (DESIGN.md section 12).
+ *
+ *   xser-client run --port P [--scale 0.22] [--seed S]
+ *               [--replicates R] [--checkpoint on|off]
+ *               [--fastpath on|off] [--trace FILE]
+ *               [--trace-buffer-events N] [--metrics FILE]
+ *               [--progress] [--detach]
+ *   xser-client attach --port P --id CAMPAIGN
+ *   xser-client shutdown --port P
+ *
+ * `run` prints the server-rendered report to stdout and writes the
+ * --trace / --metrics files locally, so its observable output is
+ * byte-identical to a local `xser campaign` run with the same options
+ * (the CI determinism gate cmp's exactly this). The campaign options
+ * deliberately mirror `xser campaign`.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "cli/args.hh"
+#include "core/parallel_campaign.hh"
+#include "service/client.hh"
+#include "sim/logging.hh"
+#include "trace/trace_buffer.hh"
+
+namespace {
+
+using namespace xser;
+
+void
+printUsage()
+{
+    std::printf(
+        "usage: xser-client <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  run       submit a campaign and wait for the artifacts\n"
+        "              --port P --host A --scale F --seed S\n"
+        "              --replicates R --checkpoint on|off\n"
+        "              --fastpath on|off --trace FILE\n"
+        "              --trace-buffer-events N --metrics FILE\n"
+        "              --progress (live meter on stderr)\n"
+        "              --detach (print the campaign id and exit)\n"
+        "              --reconnect-attempts N (default 5)\n"
+        "  attach    watch an existing campaign\n"
+        "              --port P --id CAMPAIGN\n"
+        "  shutdown  ask the server to drain and exit\n"
+        "              --port P\n");
+}
+
+/** Parse an on|off option with a default (fatal on anything else). */
+bool
+onOffFlag(const cli::Args &args, const char *name)
+{
+    const std::string value = args.get(name, "on");
+    if (value == "on")
+        return true;
+    if (value == "off")
+        return false;
+    fatal(msg("option --", name, " expects 'on' or 'off'"));
+    return true;
+}
+
+/** Upper bound for --trace-buffer-events (matches `xser campaign`). */
+constexpr uint64_t maxTraceBufferEvents = uint64_t(1) << 30;
+
+service::CampaignParams
+campaignParams(const cli::Args &args)
+{
+    service::CampaignParams params;
+    params.scale = args.getDouble("scale", 0.22);
+    params.seed = args.getUint("seed", 0x5e5510ULL);
+    params.replicates = static_cast<uint32_t>(
+        args.getCount("replicates", 1, 1, 1u << 20));
+    params.checkpoint = onOffFlag(args, "checkpoint");
+    params.fastpath = onOffFlag(args, "fastpath");
+    params.traceBufferEvents =
+        args.getCount("trace-buffer-events",
+                      trace::TraceBuffer::defaultMaxEvents, 1,
+                      maxTraceBufferEvents);
+    params.wantTrace = args.has("trace");
+    params.wantMetrics = args.has("metrics");
+    // Hash the locally rebuilt config: if the server's build disagrees
+    // it refuses the campaign instead of returning skewed bytes.
+    const core::CampaignConfig config =
+        service::buildCampaign(params);
+    params.configHash = core::campaignConfigHash(config);
+    return params;
+}
+
+uint16_t
+requiredPort(const cli::Args &args)
+{
+    if (!args.has("port"))
+        fatal("xser-client requires --port <server port>");
+    return static_cast<uint16_t>(args.getCount("port", 0, 1, 65535));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const cli::Args args = cli::Args::parse(argc, argv);
+    const std::string &command = args.command();
+    if (command == "help" || command == "-h" || args.has("help")) {
+        printUsage();
+        return 0;
+    }
+
+    service::ClientConfig config;
+    config.host = args.get("host", config.host);
+    config.reconnectAttempts = static_cast<unsigned>(
+        args.getUint("reconnect-attempts", config.reconnectAttempts));
+
+    if (command == "run") {
+        config.port = requiredPort(args);
+        config.command = service::ClientCommand::Run;
+        config.params = campaignParams(args);
+        if (args.has("trace")) {
+            config.tracePath = args.get("trace", "");
+            if (config.tracePath.empty())
+                fatal("option --trace expects a file path");
+        }
+        if (args.has("metrics")) {
+            config.metricsPath = args.get("metrics", "");
+            if (config.metricsPath.empty())
+                fatal("option --metrics expects a file path");
+        }
+        config.detach = args.has("detach");
+        config.progress = args.has("progress");
+        return service::runClient(config);
+    }
+    if (command == "attach") {
+        config.port = requiredPort(args);
+        config.command = service::ClientCommand::Attach;
+        config.campaignId = args.getUint("id", 0);
+        if (config.campaignId == 0)
+            fatal("attach requires --id <campaign id>");
+        config.progress = args.has("progress");
+        return service::runClient(config);
+    }
+    if (command == "shutdown") {
+        config.port = requiredPort(args);
+        config.command = service::ClientCommand::Shutdown;
+        return service::runClient(config);
+    }
+    printUsage();
+    return 2;
+}

@@ -283,30 +283,6 @@ cmdSession(const cli::Args &args)
     return 0;
 }
 
-void
-printReplicateSummary(const core::ReplicatedCampaignResult &sweep)
-{
-    std::printf("=== replicate summary (%zu replicates) ===\n",
-                sweep.replicates.size());
-    core::TablePrinter table({"session", "events", "fluence",
-                              "FIT total [95% CI]", "FIT mean+-SE"});
-    for (const auto &aggregate : sweep.sessions) {
-        const core::FitBreakdown fit = aggregate.pooledFit();
-        table.addRow(
-            {aggregate.point.label(),
-             std::to_string(aggregate.events.total()),
-             core::TablePrinter::sci(aggregate.fluence, 2),
-             core::TablePrinter::fmt(fit.total.fit, 2) + " [" +
-                 core::TablePrinter::fmt(fit.total.ci.lower, 2) + ", " +
-                 core::TablePrinter::fmt(fit.total.ci.upper, 2) + "]",
-             core::TablePrinter::fmt(aggregate.fitTotal.mean(), 2) +
-                 " +- " +
-                 core::TablePrinter::fmt(
-                     aggregate.fitTotal.stderrMean(), 2)});
-    }
-    std::printf("%s\n", table.toString().c_str());
-}
-
 int
 cmdCampaign(const cli::Args &args)
 {
@@ -372,28 +348,15 @@ cmdCampaign(const cli::Args &args)
                                     elapsed.seconds()));
     }
     if (writer)
-        std::printf("trace: %llu units -> %s\n",
-                    static_cast<unsigned long long>(
-                        writer->unitsWritten()),
-                    writer->path().c_str());
-    const core::CampaignResult &result = sweep.replicates.front();
-    const std::vector<core::SessionResult> at24ghz(
-        result.sessions.begin(), result.sessions.begin() + 3);
-    std::printf("%s\n", core::formatTable2(result.sessions).c_str());
-    std::printf("%s\n", core::formatFig5(at24ghz).c_str());
-    std::printf("%s\n", core::formatFig6(at24ghz).c_str());
-    std::printf("%s\n", core::formatFig7(result.sessions[3]).c_str());
-    std::printf("%s\n", core::formatFig8(at24ghz).c_str());
-    std::printf("%s\n", core::formatFig9(result.sessions).c_str());
-    std::printf("%s\n", core::formatFig10(result.sessions).c_str());
-    std::printf("%s\n", core::formatFig11(at24ghz).c_str());
-    std::printf("%s\n", core::formatFig12(at24ghz).c_str());
-    std::printf("%s\n", core::formatFig13(result.sessions[3]).c_str());
-    if (run.replicates > 1)
-        printReplicateSummary(sweep);
+        std::printf("%s",
+                    core::formatTraceLine(writer->unitsWritten(),
+                                          writer->path())
+                        .c_str());
+    std::printf("%s", core::formatCampaignReport(sweep).c_str());
     if (args.has("csv"))
-        core::writeFile(args.get("csv", ""),
-                        core::sessionsToCsv(result.sessions));
+        core::writeFile(
+            args.get("csv", ""),
+            core::sessionsToCsv(sweep.replicates.front().sessions));
     return 0;
 }
 

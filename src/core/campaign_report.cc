@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "core/fit_calculator.hh"
+#include "core/parallel_campaign.hh"
 #include "core/table_printer.hh"
 #include "sim/logging.hh"
 
@@ -351,6 +352,63 @@ formatFig13(const SessionResult &session_900mhz)
                   fitWithCi(breakdown.sdcNotified)});
     return "Fig. 13: SDC FIT rates by hardware-notification class "
            "(900 MHz), FIT [95% CI]\n" + table.toString();
+}
+
+std::string
+formatTraceLine(uint64_t units, const std::string &path)
+{
+    return "trace: " + std::to_string(units) + " units -> " + path +
+           "\n";
+}
+
+std::string
+formatReplicateSummary(const ReplicatedCampaignResult &sweep)
+{
+    std::string out = "=== replicate summary (" +
+                      std::to_string(sweep.replicates.size()) +
+                      " replicates) ===\n";
+    TablePrinter table({"session", "events", "fluence",
+                        "FIT total [95% CI]", "FIT mean+-SE"});
+    for (const auto &aggregate : sweep.sessions) {
+        const FitBreakdown fit = aggregate.pooledFit();
+        table.addRow(
+            {aggregate.point.label(),
+             std::to_string(aggregate.events.total()),
+             TablePrinter::sci(aggregate.fluence, 2),
+             TablePrinter::fmt(fit.total.fit, 2) + " [" +
+                 TablePrinter::fmt(fit.total.ci.lower, 2) + ", " +
+                 TablePrinter::fmt(fit.total.ci.upper, 2) + "]",
+             TablePrinter::fmt(aggregate.fitTotal.mean(), 2) + " +- " +
+                 TablePrinter::fmt(aggregate.fitTotal.stderrMean(),
+                                   2)});
+    }
+    out += table.toString();
+    out += "\n";
+    return out;
+}
+
+std::string
+formatCampaignReport(const ReplicatedCampaignResult &sweep)
+{
+    const CampaignResult &result = sweep.replicates.front();
+    XSER_ASSERT(result.sessions.size() >= 4,
+                "campaign report needs the four Table 2 sessions");
+    const std::vector<SessionResult> at24ghz(
+        result.sessions.begin(), result.sessions.begin() + 3);
+    std::string out;
+    out += formatTable2(result.sessions) + "\n";
+    out += formatFig5(at24ghz) + "\n";
+    out += formatFig6(at24ghz) + "\n";
+    out += formatFig7(result.sessions[3]) + "\n";
+    out += formatFig8(at24ghz) + "\n";
+    out += formatFig9(result.sessions) + "\n";
+    out += formatFig10(result.sessions) + "\n";
+    out += formatFig11(at24ghz) + "\n";
+    out += formatFig12(at24ghz) + "\n";
+    out += formatFig13(result.sessions[3]) + "\n";
+    if (sweep.replicates.size() > 1)
+        out += formatReplicateSummary(sweep);
+    return out;
 }
 
 } // namespace xser::core

@@ -11,11 +11,9 @@
 #include <memory>
 #include <thread>
 
-#include "core/checkpoint.hh"
+#include "core/shard_executor.hh"
 #include "core/test_session.hh"
 #include "sim/logging.hh"
-#include "sim/rng.hh"
-#include "sim/snapshot.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/progress.hh"
 #include "trace/trace_writer.hh"
@@ -143,58 +141,13 @@ ParallelCampaignRunner::ParallelCampaignRunner(
                   " workers; size the registry to --jobs"));
 }
 
-SessionResult
-ParallelCampaignRunner::runUnit(size_t session_index,
-                                unsigned replicate_index,
-                                trace::TraceBuffer *buffer,
-                                const std::vector<uint8_t> *checkpoint)
-    const
-{
-    SessionConfig session_config = config_.sessions[session_index];
-    // Replicate 0 keeps the configured seed (sequential-compatible);
-    // later replicates draw their own coordinate-derived stream.
-    if (replicate_index > 0)
-        session_config.seed = deriveStreamSeed(
-            run_.seed, static_cast<uint64_t>(session_index),
-            replicate_index);
-    session_config.traceSink = buffer;
-    cpu::XGene2Platform platform(config_.platform);
-    TestSession session(&platform, session_config);
-    if (checkpoint == nullptr) {
-        const telemetry::ScopedPhase timer(
-            telemetry::Phase::Continuation);
-        return session.execute();
-    }
-
-    // Fork path: adopt the session's prefix and run the (seed-
-    // dependent) continuation only. The envelope re-validates even
-    // though we sealed it ourselves moments ago -- the checksum is
-    // cheap next to a session and turns any buffer mix-up into a
-    // loud, attributable failure.
-    {
-        const telemetry::ScopedPhase timer(
-            telemetry::Phase::SnapshotRestore);
-        const CheckpointView view = openCheckpoint(*checkpoint);
-        if (!view.ok)
-            fatal(msg("refusing checkpoint for session ",
-                      session_index, ": ", view.error));
-        XSER_ASSERT(view.sessionIndex == session_index,
-                    "checkpoint/session index mismatch");
-        SnapshotReader reader(view.payload, view.payloadSize);
-        session.restorePrefix(reader);
-        XSER_ASSERT(reader.atEnd(),
-                    "checkpoint payload not fully consumed by restore");
-    }
-    const telemetry::ScopedPhase timer(telemetry::Phase::Continuation);
-    return session.runContinuation();
-}
-
 std::vector<CampaignResult>
 ParallelCampaignRunner::run(unsigned count,
                             trace::TraceWriter *trace_writer) const
 {
     const size_t num_sessions = config_.sessions.size();
     const size_t units = num_sessions * count;
+    const ShardExecutor executor(config_, run_.seed, run_.checkpoint);
 
     // When tracing, every unit records into its own pre-allocated
     // buffer slot -- workers never share a sink, so no synchronization
@@ -205,16 +158,11 @@ ParallelCampaignRunner::run(unsigned count,
         buffers.reserve(units);
         for (size_t unit = 0; unit < units; ++unit) {
             const size_t session = unit % num_sessions;
-            const SessionConfig &sc = config_.sessions[session];
             auto buffer = std::make_unique<trace::TraceBuffer>(
                 run_.traceBufferEvents);
-            buffer->info.session = static_cast<uint32_t>(session);
-            buffer->info.replicate =
-                static_cast<uint32_t>(unit / num_sessions);
-            buffer->info.pmdMillivolts = sc.point.pmdMillivolts;
-            buffer->info.socMillivolts = sc.point.socMillivolts;
-            buffer->info.frequencyHz = sc.point.frequencyHz;
-            buffer->info.workloads = sc.workloadNames;
+            executor.stampBufferInfo(
+                *buffer, session,
+                static_cast<unsigned>(unit / num_sessions));
             buffers.push_back(std::move(buffer));
         }
     }
@@ -269,27 +217,8 @@ ParallelCampaignRunner::run(unsigned count,
     std::vector<std::vector<uint8_t>> checkpoints(
         run_.checkpoint ? num_sessions : 0);
     if (run_.checkpoint) {
-        const uint64_t config_hash = campaignConfigHash(config_);
         run_pool(num_sessions, [&](size_t session) {
-            cpu::XGene2Platform platform(config_.platform);
-            TestSession prefix(&platform, config_.sessions[session]);
-            {
-                const telemetry::ScopedPhase timer(
-                    telemetry::Phase::Prefix);
-                prefix.runPrefix();
-            }
-            const telemetry::ScopedPhase timer(
-                telemetry::Phase::SnapshotEncode);
-            SnapshotWriter writer;
-            prefix.snapshotPrefix(writer);
-            checkpoints[session] = sealCheckpoint(
-                static_cast<uint32_t>(session), config_hash,
-                writer.take());
-            telemetry::count(telemetry::Counter::SessionsPrefixed);
-            telemetry::distAdd(
-                telemetry::Dist::CheckpointKilobytes,
-                static_cast<double>(checkpoints[session].size()) /
-                    1024.0);
+            checkpoints[session] = executor.sealPrefix(session);
             if (run_.progress != nullptr)
                 run_.progress->tick();
         });
@@ -302,28 +231,10 @@ ParallelCampaignRunner::run(unsigned count,
     run_pool(units, [&](size_t unit) {
         const size_t replicate = unit / num_sessions;
         const size_t session = unit % num_sessions;
-        telemetry::MetricShard *shard = telemetry::activeShard();
-        const uint64_t begin_nanos =
-            shard != nullptr ? telemetry::monotonicNanos() : 0;
-        slots[unit] = runUnit(
+        slots[unit] = executor.runUnitRecorded(
             session, static_cast<unsigned>(replicate),
             tracing ? buffers[unit].get() : nullptr,
             run_.checkpoint ? &checkpoints[session] : nullptr);
-        if (shard != nullptr) {
-            ++shard->unitsExecuted;
-            telemetry::distAdd(
-                telemetry::Dist::UnitSeconds,
-                static_cast<double>(telemetry::monotonicNanos() -
-                                    begin_nanos) *
-                    1e-9);
-            telemetry::count(telemetry::Counter::UnitsCompleted);
-            telemetry::distAdd(
-                telemetry::Dist::RunsPerUnit,
-                static_cast<double>(slots[unit].runs));
-            telemetry::distAdd(
-                telemetry::Dist::ErrorEventsPerUnit,
-                static_cast<double>(slots[unit].events.total()));
-        }
         if (run_.progress != nullptr)
             run_.progress->tick();
     });

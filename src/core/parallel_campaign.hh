@@ -132,6 +132,11 @@ struct ReplicatedCampaignResult {
 
 /**
  * Executes a campaign's (session, replicate) units on a worker pool.
+ *
+ * Unit execution itself lives in core::ShardExecutor (the library
+ * seam the distributed campaign service also drives); this class adds
+ * the thread pool, the pre-allocated trace-buffer slots, and the
+ * canonical post-drain merges.
  */
 class ParallelCampaignRunner
 {
@@ -154,17 +159,6 @@ class ParallelCampaignRunner
     executeAll(trace::TraceWriter *trace_writer = nullptr);
 
   private:
-    /**
-     * Run one (session, replicate) unit on a fresh platform. When
-     * `checkpoint` is non-null, the unit restores the session's prefix
-     * from it and runs only the continuation; otherwise it replays the
-     * whole session.
-     */
-    SessionResult runUnit(size_t session_index,
-                          unsigned replicate_index,
-                          trace::TraceBuffer *buffer,
-                          const std::vector<uint8_t> *checkpoint) const;
-
     /** Execute `count` replicates and return them in index order. */
     std::vector<CampaignResult>
     run(unsigned count, trace::TraceWriter *trace_writer) const;

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Frame codec implementation.
+ */
+
+#include "net/frame.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace xser::net {
+
+namespace {
+
+const char frameMagic[8] = {'X', 'S', 'E', 'R', 'N', 'E', 'T', 'F'};
+
+void
+putU32(std::string &out, uint32_t value)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, uint64_t value)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+uint32_t
+getU32(const uint8_t *data)
+{
+    uint32_t value = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        value |= static_cast<uint32_t>(data[i]) << (8 * i);
+    return value;
+}
+
+uint64_t
+getU64(const uint8_t *data)
+{
+    uint64_t value = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        value |= static_cast<uint64_t>(data[i]) << (8 * i);
+    return value;
+}
+
+} // namespace
+
+uint64_t
+fnv1a(const uint8_t *data, size_t size)
+{
+    uint64_t hash = 0xcbf29ce484222325ULL;
+    for (size_t i = 0; i < size; ++i) {
+        hash ^= data[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+std::string
+encodeFrame(uint32_t type, const std::string &payload)
+{
+    if (payload.size() > maxFramePayloadBytes)
+        fatal(msg("frame payload of ", payload.size(),
+                  " bytes exceeds the ", maxFramePayloadBytes,
+                  "-byte protocol limit"));
+    std::string out;
+    out.reserve(frameHeaderBytes + payload.size());
+    out.append(frameMagic, sizeof(frameMagic));
+    putU32(out, protocolVersion);
+    putU32(out, type);
+    putU64(out, payload.size());
+    putU64(out, fnv1a(reinterpret_cast<const uint8_t *>(payload.data()),
+                      payload.size()));
+    out.append(payload);
+    return out;
+}
+
+FrameView
+decodeFrame(const uint8_t *data, size_t size)
+{
+    FrameView view;
+    if (size < frameHeaderBytes) {
+        view.error = msg("truncated frame header: ", size, " of ",
+                         frameHeaderBytes, " bytes");
+        view.incomplete = true;
+        return view;
+    }
+    if (std::memcmp(data, frameMagic, sizeof(frameMagic)) != 0) {
+        view.error = "bad frame magic (not an xser protocol stream)";
+        return view;
+    }
+    const uint32_t version = getU32(data + 8);
+    if (version != protocolVersion) {
+        view.error = msg("protocol version mismatch: peer speaks ",
+                         version, ", this build speaks ",
+                         protocolVersion);
+        return view;
+    }
+    const uint64_t payload_size = getU64(data + 16);
+    if (payload_size > maxFramePayloadBytes) {
+        view.error = msg("frame payload size ", payload_size,
+                         " exceeds the ", maxFramePayloadBytes,
+                         "-byte protocol limit");
+        return view;
+    }
+    if (size - frameHeaderBytes < payload_size) {
+        view.error = msg("truncated frame payload: ",
+                         size - frameHeaderBytes, " of ", payload_size,
+                         " bytes");
+        view.incomplete = true;
+        return view;
+    }
+    const uint8_t *payload = data + frameHeaderBytes;
+    const uint64_t checksum = fnv1a(payload, payload_size);
+    if (checksum != getU64(data + 24)) {
+        view.error = "frame payload checksum mismatch";
+        return view;
+    }
+    view.ok = true;
+    view.type = getU32(data + 12);
+    view.payload = payload;
+    view.payloadSize = payload_size;
+    view.frameSize = frameHeaderBytes + payload_size;
+    return view;
+}
+
+void
+FrameReader::feed(const char *data, size_t size)
+{
+    if (failed_)
+        return;
+    // Compact lazily so long-lived connections do not grow without
+    // bound: once everything buffered has been consumed, restart.
+    if (consumed_ == buffer_.size()) {
+        buffer_.clear();
+        consumed_ = 0;
+    }
+    buffer_.append(data, size);
+}
+
+FrameReader::Status
+FrameReader::next(Frame &out)
+{
+    if (failed_)
+        return Status::Error;
+    const uint8_t *data =
+        reinterpret_cast<const uint8_t *>(buffer_.data()) + consumed_;
+    const size_t available = buffer_.size() - consumed_;
+    const FrameView view = decodeFrame(data, available);
+    if (!view.ok) {
+        // A truncated header or payload just means the rest of the
+        // frame has not arrived; anything else is sticky.
+        if (view.incomplete)
+            return Status::NeedMore;
+        failed_ = true;
+        error_ = view.error;
+        return Status::Error;
+    }
+    out.type = view.type;
+    out.payload.assign(
+        reinterpret_cast<const char *>(view.payload), view.payloadSize);
+    consumed_ += view.frameSize;
+    return Status::Ready;
+}
+
+} // namespace xser::net

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * POSIX socket wrapper implementation. This translation unit (with
+ * socket.hh) is the only place in the tree allowed to include socket
+ * or poll headers; xser-lint's net-confinement rule enforces it.
+ */
+
+#include "net/socket.hh"
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "sim/logging.hh"
+
+namespace xser::net {
+
+namespace {
+
+/** Read/write chunk size per syscall. */
+constexpr size_t ioChunkBytes = 64 * 1024;
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        fatal(msg("cannot set socket non-blocking: ",
+                  std::strerror(errno)));
+}
+
+/** Parse a dotted-quad host into a sockaddr_in (fatal on failure). */
+sockaddr_in
+makeAddress(const std::string &host, uint16_t port)
+{
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1)
+        fatal(msg("invalid IPv4 address '", host,
+                  "' (xser-server speaks numeric IPv4 only)"));
+    return address;
+}
+
+} // namespace
+
+TcpConnection::TcpConnection(int fd) : fd_(fd) {}
+
+TcpConnection::~TcpConnection()
+{
+    close();
+}
+
+TcpConnection::TcpConnection(TcpConnection &&other) noexcept
+    : fd_(other.fd_)
+{
+    other.fd_ = -1;
+}
+
+TcpConnection &
+TcpConnection::operator=(TcpConnection &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+ReadStatus
+TcpConnection::readSome(std::string &into)
+{
+    char chunk[ioChunkBytes];
+    bool got_data = false;
+    for (;;) {
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            into.append(chunk, static_cast<size_t>(n));
+            got_data = true;
+            continue;
+        }
+        if (n == 0)
+            return got_data ? ReadStatus::Data : ReadStatus::Closed;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return got_data ? ReadStatus::Data : ReadStatus::WouldBlock;
+        if (errno == EINTR)
+            continue;
+        return ReadStatus::Error;
+    }
+}
+
+WriteStatus
+TcpConnection::writeSome(std::string &buffer)
+{
+    size_t sent = 0;
+    while (sent < buffer.size()) {
+        const size_t chunk =
+            std::min(buffer.size() - sent, ioChunkBytes);
+        const ssize_t n =
+            ::send(fd_, buffer.data() + sent, chunk, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<size_t>(n);
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        buffer.erase(0, sent);
+        return WriteStatus::Error;
+    }
+    buffer.erase(0, sent);
+    return WriteStatus::Ok;
+}
+
+void
+TcpConnection::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+TcpListener::~TcpListener()
+{
+    close();
+}
+
+TcpListener::TcpListener(TcpListener &&other) noexcept
+    : fd_(other.fd_), port_(other.port_)
+{
+    other.fd_ = -1;
+    other.port_ = 0;
+}
+
+TcpListener &
+TcpListener::operator=(TcpListener &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        port_ = other.port_;
+        other.fd_ = -1;
+        other.port_ = 0;
+    }
+    return *this;
+}
+
+TcpListener
+TcpListener::listen(const std::string &host, uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal(msg("cannot create socket: ", std::strerror(errno)));
+    const int one = 1;
+    if (setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0)
+        fatal(msg("cannot set SO_REUSEADDR: ", std::strerror(errno)));
+    sockaddr_in address = makeAddress(host, port);
+    if (bind(fd, reinterpret_cast<const sockaddr *>(&address),
+             sizeof(address)) < 0)
+        fatal(msg("cannot bind ", host, ":", port, ": ",
+                  std::strerror(errno)));
+    if (::listen(fd, 64) < 0)
+        fatal(msg("cannot listen on ", host, ":", port, ": ",
+                  std::strerror(errno)));
+    sockaddr_in bound{};
+    socklen_t bound_size = sizeof(bound);
+    if (getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                    &bound_size) < 0)
+        fatal(msg("cannot read bound port: ", std::strerror(errno)));
+    setNonBlocking(fd);
+    TcpListener listener;
+    listener.fd_ = fd;
+    listener.port_ = ntohs(bound.sin_port);
+    return listener;
+}
+
+TcpConnection
+TcpListener::accept()
+{
+    for (;;) {
+        const int fd = ::accept(fd_, nullptr, nullptr);
+        if (fd >= 0) {
+            setNonBlocking(fd);
+            const int one = 1;
+            // Frames are small and latency-sensitive; favour
+            // immediate delivery over Nagle batching.
+            setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                       sizeof(one));
+            return TcpConnection(fd);
+        }
+        if (errno == EINTR)
+            continue;
+        return TcpConnection();
+    }
+}
+
+void
+TcpListener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+TcpConnection
+connectTo(const std::string &host, uint16_t port, std::string &error)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = msg("cannot create socket: ", std::strerror(errno));
+        return TcpConnection();
+    }
+    sockaddr_in address = makeAddress(host, port);
+    for (;;) {
+        if (connect(fd, reinterpret_cast<const sockaddr *>(&address),
+                    sizeof(address)) == 0)
+            break;
+        if (errno == EINTR)
+            continue;
+        error = msg("cannot connect to ", host, ":", port, ": ",
+                    std::strerror(errno));
+        ::close(fd);
+        return TcpConnection();
+    }
+    setNonBlocking(fd);
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return TcpConnection(fd);
+}
+
+int
+pollSockets(std::vector<PollItem> &items, int timeout_ms)
+{
+    std::vector<pollfd> fds;
+    fds.reserve(items.size());
+    for (const PollItem &item : items) {
+        pollfd entry{};
+        entry.fd = item.fd;
+        entry.events = 0;
+        if (item.wantRead)
+            entry.events |= POLLIN;
+        if (item.wantWrite)
+            entry.events |= POLLOUT;
+        fds.push_back(entry);
+    }
+    int ready;
+    for (;;) {
+        ready = ::poll(fds.data(),
+                       static_cast<nfds_t>(fds.size()), timeout_ms);
+        if (ready >= 0)
+            break;
+        if (errno == EINTR)
+            return 0; // let the caller observe shutdown flags
+        fatal(msg("poll failed: ", std::strerror(errno)));
+    }
+    for (size_t i = 0; i < items.size(); ++i) {
+        items[i].canRead = (fds[i].revents & POLLIN) != 0;
+        items[i].canWrite = (fds[i].revents & POLLOUT) != 0;
+        items[i].hangup =
+            (fds[i].revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+    }
+    return ready;
+}
+
+} // namespace xser::net

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Thin RAII wrappers over POSIX TCP sockets and poll(2): the single
+ * confinement point for socket and poll headers (machine-checked by
+ * xser-lint's net-confinement rule -- see DESIGN.md section 12).
+ *
+ * Everything above this layer (src/service, the CLIs) works with byte
+ * buffers and the frame codec only; no file descriptor or sockaddr
+ * ever escapes src/net. All sockets are non-blocking: readers report
+ * would-block instead of stalling, writers consume as much of a
+ * buffer as the kernel accepts, and the event loops multiplex with
+ * pollSockets().
+ */
+
+#ifndef XSER_NET_SOCKET_HH
+#define XSER_NET_SOCKET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xser::net {
+
+/** Outcome of one non-blocking read attempt. */
+enum class ReadStatus {
+    Data,       ///< at least one byte appended to the buffer
+    WouldBlock, ///< nothing available right now
+    Closed,     ///< orderly shutdown by the peer
+    Error,      ///< connection reset or another hard error
+};
+
+/** Outcome of one non-blocking write attempt. */
+enum class WriteStatus {
+    Ok,    ///< zero or more bytes consumed; retry for the remainder
+    Error, ///< connection reset or another hard error
+};
+
+/**
+ * One established TCP connection (movable, closes on destruction).
+ */
+class TcpConnection
+{
+  public:
+    TcpConnection() = default;
+    explicit TcpConnection(int fd);
+    ~TcpConnection();
+
+    TcpConnection(TcpConnection &&other) noexcept;
+    TcpConnection &operator=(TcpConnection &&other) noexcept;
+    TcpConnection(const TcpConnection &) = delete;
+    TcpConnection &operator=(const TcpConnection &) = delete;
+
+    bool open() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** Append whatever is readable to `into` (non-blocking). */
+    ReadStatus readSome(std::string &into);
+
+    /**
+     * Write as much of `buffer` as the kernel accepts and erase the
+     * consumed prefix (non-blocking; a full socket consumes nothing).
+     */
+    WriteStatus writeSome(std::string &buffer);
+
+    void close();
+
+  private:
+    int fd_ = -1;
+};
+
+/** A listening TCP socket bound to a local address. */
+class TcpListener
+{
+  public:
+    TcpListener() = default;
+    ~TcpListener();
+
+    TcpListener(TcpListener &&other) noexcept;
+    TcpListener &operator=(TcpListener &&other) noexcept;
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    /**
+     * Bind and listen on host:port (port 0 picks a free port; see
+     * boundPort()). Fatal on any setup failure -- a server that
+     * cannot listen has nothing to gracefully degrade to.
+     */
+    static TcpListener listen(const std::string &host, uint16_t port);
+
+    bool open() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** The actual bound port (after port-0 auto-assignment). */
+    uint16_t boundPort() const { return port_; }
+
+    /**
+     * Accept one pending connection (non-blocking); returns a closed
+     * connection when none is pending.
+     */
+    TcpConnection accept();
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    uint16_t port_ = 0;
+};
+
+/**
+ * Connect to host:port. Blocks for the handshake (bounded by the
+ * kernel's connect timeout), then switches the socket non-blocking.
+ * Returns a closed connection on failure with `error` set.
+ */
+TcpConnection connectTo(const std::string &host, uint16_t port,
+                        std::string &error);
+
+/** One pollSockets() entry: interest in, and readiness of, an fd. */
+struct PollItem {
+    int fd = -1;
+    bool wantRead = false;
+    bool wantWrite = false;
+    /* Outputs. */
+    bool canRead = false;
+    bool canWrite = false;
+    bool hangup = false; ///< peer closed or error condition pending
+};
+
+/**
+ * poll(2) over the items; fills the readiness outputs. Returns the
+ * number of ready items (0 on timeout). `timeout_ms` < 0 blocks.
+ */
+int pollSockets(std::vector<PollItem> &items, int timeout_ms);
+
+} // namespace xser::net
+
+#endif // XSER_NET_SOCKET_HH

@@ -1,0 +1,473 @@
+/**
+ * @file
+ * Protocol message codecs.
+ */
+
+#include "service/protocol.hh"
+
+#include "service/wire.hh"
+
+namespace xser::service {
+
+namespace {
+
+/** Shared failure path: set `error` once, report failure. */
+bool
+failDecode(std::string &error, const std::string &what)
+{
+    if (error.empty())
+        error = what;
+    return false;
+}
+
+/** Final decode gate: reader healthy and fully consumed. */
+bool
+finish(const WireReader &reader, const char *what, std::string &error)
+{
+    if (!reader.ok())
+        return failDecode(error,
+                          std::string(what) + ": truncated payload");
+    if (!reader.atEnd())
+        return failDecode(error, std::string(what) +
+                                     ": trailing bytes after payload");
+    return true;
+}
+
+void
+putParams(WireWriter &writer, const CampaignParams &params)
+{
+    writer.putF64(params.scale);
+    writer.putU64(params.seed);
+    writer.putU32(params.replicates);
+    writer.putU8(params.checkpoint ? 1 : 0);
+    writer.putU8(params.fastpath ? 1 : 0);
+    writer.putU64(params.traceBufferEvents);
+    writer.putU8(params.wantTrace ? 1 : 0);
+    writer.putU8(params.wantMetrics ? 1 : 0);
+    writer.putU64(params.configHash);
+}
+
+void
+getParams(WireReader &reader, CampaignParams &params)
+{
+    params.scale = reader.getF64();
+    params.seed = reader.getU64();
+    params.replicates = reader.getU32();
+    params.checkpoint = reader.getU8() != 0;
+    params.fastpath = reader.getU8() != 0;
+    params.traceBufferEvents = reader.getU64();
+    params.wantTrace = reader.getU8() != 0;
+    params.wantMetrics = reader.getU8() != 0;
+    params.configHash = reader.getU64();
+}
+
+void
+putEventCounts(WireWriter &writer, const core::EventCounts &events)
+{
+    writer.putU64(events.sdcSilent);
+    writer.putU64(events.sdcNotified);
+    writer.putU64(events.appCrash);
+    writer.putU64(events.sysCrash);
+}
+
+void
+getEventCounts(WireReader &reader, core::EventCounts &events)
+{
+    events.sdcSilent = reader.getU64();
+    events.sdcNotified = reader.getU64();
+    events.appCrash = reader.getU64();
+    events.sysCrash = reader.getU64();
+}
+
+void
+putSessionResult(WireWriter &writer, const core::SessionResult &result)
+{
+    writer.putString(result.point.name);
+    writer.putF64(result.point.pmdMillivolts);
+    writer.putF64(result.point.socMillivolts);
+    writer.putF64(result.point.frequencyHz);
+    writer.putF64(result.beamFluxPerSecond);
+    writer.putU64(result.runs);
+    writer.putF64(result.fluence);
+    writer.putU64(result.duration);
+    putEventCounts(writer, result.events);
+    writer.putU32(static_cast<uint32_t>(result.edac.size()));
+    for (const mem::EdacTally &tally : result.edac) {
+        writer.putU64(tally.corrected);
+        writer.putU64(tally.uncorrected);
+    }
+    writer.putU64(result.upsetsDetected);
+    writer.putU64(result.rawUpsetEvents);
+    writer.putU64(result.totalSramBits);
+    writer.putF64(result.avgPowerWatts);
+    writer.putU32(static_cast<uint32_t>(result.perWorkload.size()));
+    for (const core::WorkloadSessionStats &stats : result.perWorkload) {
+        writer.putString(stats.name);
+        writer.putU64(stats.runs);
+        writer.putF64(stats.fluence);
+        writer.putU64(stats.duration);
+        writer.putU64(stats.upsetsDetected);
+        putEventCounts(writer, stats.events);
+    }
+}
+
+bool
+getSessionResult(WireReader &reader, core::SessionResult &result,
+                 std::string &error)
+{
+    result.point.name = reader.getString();
+    result.point.pmdMillivolts = reader.getF64();
+    result.point.socMillivolts = reader.getF64();
+    result.point.frequencyHz = reader.getF64();
+    result.beamFluxPerSecond = reader.getF64();
+    result.runs = reader.getU64();
+    result.fluence = reader.getF64();
+    result.duration = reader.getU64();
+    getEventCounts(reader, result.events);
+    const uint32_t edac_levels = reader.getU32();
+    if (reader.ok() && edac_levels != result.edac.size())
+        return failDecode(error,
+                          "session result: cache-level count skew");
+    for (mem::EdacTally &tally : result.edac) {
+        tally.corrected = reader.getU64();
+        tally.uncorrected = reader.getU64();
+    }
+    result.upsetsDetected = reader.getU64();
+    result.rawUpsetEvents = reader.getU64();
+    result.totalSramBits = reader.getU64();
+    result.avgPowerWatts = reader.getF64();
+    const uint32_t workloads = reader.getU32();
+    result.perWorkload.clear();
+    for (uint32_t i = 0; reader.ok() && i < workloads; ++i) {
+        core::WorkloadSessionStats stats;
+        stats.name = reader.getString();
+        stats.runs = reader.getU64();
+        stats.fluence = reader.getF64();
+        stats.duration = reader.getU64();
+        stats.upsetsDetected = reader.getU64();
+        getEventCounts(reader, stats.events);
+        result.perWorkload.push_back(std::move(stats));
+    }
+    if (!reader.ok())
+        return failDecode(error, "session result: truncated payload");
+    return true;
+}
+
+} // namespace
+
+core::CampaignConfig
+buildCampaign(const CampaignParams &params)
+{
+    core::CampaignConfig campaign =
+        core::BeamCampaign::paperCampaign(params.scale, params.seed);
+    core::setFastPath(campaign, params.fastpath);
+    return campaign;
+}
+
+std::string
+encodeHello(const HelloMsg &msg)
+{
+    WireWriter writer;
+    writer.putU8(static_cast<uint8_t>(msg.role));
+    return writer.take();
+}
+
+bool
+decodeHello(const std::string &payload, HelloMsg &out,
+            std::string &error)
+{
+    WireReader reader(payload);
+    const uint8_t role = reader.getU8();
+    if (role > static_cast<uint8_t>(PeerRole::Worker))
+        return failDecode(error, "hello: unknown peer role");
+    out.role = static_cast<PeerRole>(role);
+    return finish(reader, "hello", error);
+}
+
+std::string
+encodeSubmit(const SubmitMsg &msg)
+{
+    WireWriter writer;
+    putParams(writer, msg.params);
+    writer.putString(msg.tracePath);
+    return writer.take();
+}
+
+bool
+decodeSubmit(const std::string &payload, SubmitMsg &out,
+             std::string &error)
+{
+    WireReader reader(payload);
+    getParams(reader, out.params);
+    out.tracePath = reader.getString();
+    if (reader.ok() && out.params.replicates == 0)
+        return failDecode(error, "submit: zero replicates");
+    return finish(reader, "submit", error);
+}
+
+std::string
+encodeAccepted(const AcceptedMsg &msg)
+{
+    WireWriter writer;
+    writer.putU64(msg.campaignId);
+    writer.putU64(msg.totalUnits);
+    return writer.take();
+}
+
+bool
+decodeAccepted(const std::string &payload, AcceptedMsg &out,
+               std::string &error)
+{
+    WireReader reader(payload);
+    out.campaignId = reader.getU64();
+    out.totalUnits = reader.getU64();
+    return finish(reader, "accepted", error);
+}
+
+std::string
+encodeAttach(const AttachMsg &msg)
+{
+    WireWriter writer;
+    writer.putU64(msg.campaignId);
+    return writer.take();
+}
+
+bool
+decodeAttach(const std::string &payload, AttachMsg &out,
+             std::string &error)
+{
+    WireReader reader(payload);
+    out.campaignId = reader.getU64();
+    return finish(reader, "attach", error);
+}
+
+std::string
+encodeProgress(const ProgressMsg &msg)
+{
+    WireWriter writer;
+    writer.putU64(msg.campaignId);
+    writer.putU64(msg.done);
+    writer.putU64(msg.total);
+    return writer.take();
+}
+
+bool
+decodeProgress(const std::string &payload, ProgressMsg &out,
+               std::string &error)
+{
+    WireReader reader(payload);
+    out.campaignId = reader.getU64();
+    out.done = reader.getU64();
+    out.total = reader.getU64();
+    return finish(reader, "progress", error);
+}
+
+std::string
+encodeShardAssign(const ShardAssignMsg &msg)
+{
+    WireWriter writer;
+    writer.putU64(msg.campaignId);
+    putParams(writer, msg.params);
+    writer.putU32(msg.session);
+    writer.putU32(msg.replicateBegin);
+    writer.putU32(msg.replicateEnd);
+    return writer.take();
+}
+
+bool
+decodeShardAssign(const std::string &payload, ShardAssignMsg &out,
+                  std::string &error)
+{
+    WireReader reader(payload);
+    out.campaignId = reader.getU64();
+    getParams(reader, out.params);
+    out.session = reader.getU32();
+    out.replicateBegin = reader.getU32();
+    out.replicateEnd = reader.getU32();
+    if (reader.ok() && out.replicateBegin >= out.replicateEnd)
+        return failDecode(error, "shard assign: empty replicate range");
+    return finish(reader, "shard assign", error);
+}
+
+std::string
+encodeShardResult(const ShardResultMsg &msg)
+{
+    WireWriter writer;
+    writer.putU64(msg.campaignId);
+    writer.putU32(msg.session);
+    writer.putU32(msg.replicateBegin);
+    writer.putU32(msg.replicateEnd);
+    writer.putBlob(msg.prefixTelemetry);
+    writer.putU32(static_cast<uint32_t>(msg.units.size()));
+    for (const UnitResultMsg &unit : msg.units) {
+        writer.putU32(unit.replicate);
+        putSessionResult(writer, unit.result);
+        writer.putU64(unit.traceEventCount);
+        writer.putBlob(unit.traceBytes);
+    }
+    writer.putBlob(msg.shardTelemetry);
+    return writer.take();
+}
+
+bool
+decodeShardResult(const std::string &payload, ShardResultMsg &out,
+                  std::string &error)
+{
+    WireReader reader(payload);
+    out.campaignId = reader.getU64();
+    out.session = reader.getU32();
+    out.replicateBegin = reader.getU32();
+    out.replicateEnd = reader.getU32();
+    out.prefixTelemetry = reader.getBlob();
+    const uint32_t units = reader.getU32();
+    out.units.clear();
+    for (uint32_t i = 0; reader.ok() && i < units; ++i) {
+        UnitResultMsg unit;
+        unit.replicate = reader.getU32();
+        if (!getSessionResult(reader, unit.result, error))
+            return false;
+        unit.traceEventCount = reader.getU64();
+        unit.traceBytes = reader.getBlob();
+        out.units.push_back(std::move(unit));
+    }
+    out.shardTelemetry = reader.getBlob();
+    return finish(reader, "shard result", error);
+}
+
+std::string
+encodeCampaignDone(const CampaignDoneMsg &msg)
+{
+    WireWriter writer;
+    writer.putU64(msg.campaignId);
+    writer.putU8(msg.ok ? 1 : 0);
+    writer.putString(msg.error);
+    return writer.take();
+}
+
+bool
+decodeCampaignDone(const std::string &payload, CampaignDoneMsg &out,
+                   std::string &error)
+{
+    WireReader reader(payload);
+    out.campaignId = reader.getU64();
+    out.ok = reader.getU8() != 0;
+    out.error = reader.getString();
+    return finish(reader, "campaign done", error);
+}
+
+std::string
+encodeArtifactChunk(const ArtifactChunkMsg &msg)
+{
+    WireWriter writer;
+    writer.putU64(msg.campaignId);
+    writer.putU8(static_cast<uint8_t>(msg.kind));
+    writer.putU8(msg.last ? 1 : 0);
+    writer.putBlob(msg.bytes);
+    return writer.take();
+}
+
+bool
+decodeArtifactChunk(const std::string &payload, ArtifactChunkMsg &out,
+                    std::string &error)
+{
+    WireReader reader(payload);
+    out.campaignId = reader.getU64();
+    const uint8_t kind = reader.getU8();
+    if (reader.ok() && kind > static_cast<uint8_t>(ArtifactKind::Manifest))
+        return failDecode(error, "artifact chunk: unknown kind");
+    out.kind = static_cast<ArtifactKind>(kind);
+    out.last = reader.getU8() != 0;
+    out.bytes = reader.getBlob();
+    return finish(reader, "artifact chunk", error);
+}
+
+std::string
+encodeErrorMsg(const ErrorMsgMsg &msg)
+{
+    WireWriter writer;
+    writer.putU32(msg.code);
+    writer.putString(msg.text);
+    return writer.take();
+}
+
+bool
+decodeErrorMsg(const std::string &payload, ErrorMsgMsg &out,
+               std::string &error)
+{
+    WireReader reader(payload);
+    out.code = reader.getU32();
+    out.text = reader.getString();
+    return finish(reader, "error message", error);
+}
+
+std::string
+encodeMetricShard(const telemetry::MetricShard &shard)
+{
+    WireWriter writer;
+    writer.putU32(static_cast<uint32_t>(shard.counters.size()));
+    for (const uint64_t counter : shard.counters)
+        writer.putU64(counter);
+    writer.putU32(static_cast<uint32_t>(shard.dists.size()));
+    for (const Histogram &histogram : shard.dists) {
+        writer.putF64(histogram.low());
+        writer.putF64(histogram.high());
+        writer.putU32(static_cast<uint32_t>(histogram.bins()));
+        for (size_t bin = 0; bin < histogram.bins(); ++bin)
+            writer.putU64(histogram.binCount(bin));
+        writer.putU64(histogram.underflow());
+        writer.putU64(histogram.overflow());
+    }
+    writer.putU32(static_cast<uint32_t>(shard.phaseSeconds.size()));
+    for (const double seconds : shard.phaseSeconds)
+        writer.putF64(seconds);
+    writer.putU64(shard.unitsExecuted);
+    return writer.take();
+}
+
+bool
+decodeMetricShard(const std::string &payload,
+                  telemetry::MetricShard &out, std::string &error)
+{
+    WireReader reader(payload);
+    if (reader.getU32() != out.counters.size())
+        return failDecode(error, "metric shard: counter count skew");
+    for (uint64_t &counter : out.counters)
+        counter = reader.getU64();
+    if (reader.getU32() != out.dists.size())
+        return failDecode(error,
+                          "metric shard: distribution count skew");
+    for (Histogram &histogram : out.dists) {
+        const double lo = reader.getF64();
+        const double hi = reader.getF64();
+        const uint32_t bins = reader.getU32();
+        if (!reader.ok())
+            return failDecode(error, "metric shard: truncated payload");
+        if (lo != histogram.low() || hi != histogram.high() ||
+            bins != histogram.bins())
+            return failDecode(error,
+                              "metric shard: histogram shape skew");
+        // Rebuild by weighted adds at representative values: bin counts
+        // at the bin's own lower edge, under/overflow just outside the
+        // range. Integer counts transfer exactly, so the merged
+        // histogram is identical to one recorded locally.
+        for (uint32_t bin = 0; bin < bins; ++bin) {
+            const uint64_t weight = reader.getU64();
+            if (weight != 0)
+                histogram.add(histogram.binLow(bin), weight);
+        }
+        const uint64_t underflow = reader.getU64();
+        if (underflow != 0)
+            histogram.add(histogram.low() - 1.0, underflow);
+        const uint64_t overflow = reader.getU64();
+        if (overflow != 0)
+            histogram.add(histogram.high(), overflow);
+    }
+    if (reader.getU32() != out.phaseSeconds.size())
+        return failDecode(error, "metric shard: phase count skew");
+    for (double &seconds : out.phaseSeconds)
+        seconds = reader.getF64();
+    out.unitsExecuted = reader.getU64();
+    return finish(reader, "metric shard", error);
+}
+
+} // namespace xser::service

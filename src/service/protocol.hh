@@ -1,0 +1,233 @@
+/**
+ * @file
+ * The xser-server application protocol: typed messages carried in
+ * net::Frame envelopes (DESIGN.md section 12).
+ *
+ * Three peers speak it. A *client* submits a campaign (Submit) or
+ * re-attaches to one by id (Attach), watches Progress, and receives
+ * the finished artifacts -- report text, .xtrace bytes, run manifest
+ * -- as ArtifactChunk streams followed by CampaignDone. A *worker*
+ * announces itself (Hello/WorkerReady), receives ShardAssign frames
+ * naming (session, replicate-range) shards, executes them through
+ * core::ShardExecutor, and answers each with one atomic ShardResult.
+ * The *server* owns the work queue and performs the canonical
+ * replicate-major merge, so the artifacts are bit-identical to a
+ * local `xser campaign --jobs N` run.
+ *
+ * Campaign configuration crosses the wire as parameters (scale, seed,
+ * flags), never as serialized state: each peer rebuilds the
+ * CampaignConfig locally via BeamCampaign::paperCampaign and verifies
+ * campaignConfigHash against the hash in the message, so a version- or
+ * build-skewed peer is rejected at handshake instead of corrupting a
+ * campaign. Every decode follows the core/checkpoint posture: a
+ * malformed payload yields {false, error}, never a crash.
+ */
+
+#ifndef XSER_SERVICE_PROTOCOL_HH
+#define XSER_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/beam_campaign.hh"
+#include "core/test_session.hh"
+#include "telemetry/metrics.hh"
+
+namespace xser::service {
+
+/** Frame types (the u32 in the net::Frame header). */
+enum class FrameType : uint32_t {
+    Hello = 1,       ///< first frame on any connection; carries role
+    HelloAck,        ///< server's handshake acceptance
+    Submit,          ///< client -> server: run this campaign
+    Accepted,        ///< server -> client: campaign id + unit count
+    Attach,          ///< client -> server: watch an existing campaign
+    Progress,        ///< server -> client: done/total units
+    ShardAssign,     ///< server -> worker: execute one shard
+    ShardResult,     ///< worker -> server: one shard's results
+    WorkerReady,     ///< worker -> server: idle, give me work
+    Heartbeat,       ///< either direction: liveness while idle
+    CampaignDone,    ///< server -> client: terminal status
+    ArtifactChunk,   ///< server -> client: artifact byte range
+    ErrorMsg,        ///< either direction: protocol-level failure
+    ShutdownRequest, ///< client -> server: drain and exit
+    ShutdownAck,     ///< server -> client: shutdown under way
+};
+
+/** Who a connection claims to be in its Hello. */
+enum class PeerRole : uint8_t {
+    Client = 0,
+    Worker = 1,
+};
+
+/** Artifact kinds streamed in ArtifactChunk frames. */
+enum class ArtifactKind : uint8_t {
+    Report = 0,   ///< the campaign report text
+    Trace = 1,    ///< .xtrace file bytes
+    Manifest = 2, ///< run-manifest JSON
+};
+
+/**
+ * Everything needed to rebuild a campaign's configuration locally.
+ * `configHash` is the sender's campaignConfigHash of the rebuilt
+ * config; a receiver whose own rebuild hashes differently must refuse
+ * the campaign (build skew would silently break determinism).
+ */
+struct CampaignParams {
+    double scale = 0.22;
+    uint64_t seed = 0x5e5510ULL;
+    uint32_t replicates = 1;
+    bool checkpoint = true;
+    bool fastpath = true;
+    uint64_t traceBufferEvents = 0;
+    bool wantTrace = false;
+    bool wantMetrics = false;
+    uint64_t configHash = 0;
+};
+
+/** Rebuild the paper campaign these parameters describe. */
+core::CampaignConfig buildCampaign(const CampaignParams &params);
+
+/** Hello payload. */
+struct HelloMsg {
+    PeerRole role = PeerRole::Client;
+};
+
+/** Submit payload: parameters plus the client's trace path (the
+ * path string appears verbatim in the report's trace line). */
+struct SubmitMsg {
+    CampaignParams params;
+    std::string tracePath;
+};
+
+/** Accepted payload. */
+struct AcceptedMsg {
+    uint64_t campaignId = 0;
+    uint64_t totalUnits = 0;
+};
+
+/** Attach payload. */
+struct AttachMsg {
+    uint64_t campaignId = 0;
+};
+
+/** Progress payload. */
+struct ProgressMsg {
+    uint64_t campaignId = 0;
+    uint64_t done = 0;
+    uint64_t total = 0;
+};
+
+/** ShardAssign payload: one (session, replicate-range) shard. */
+struct ShardAssignMsg {
+    uint64_t campaignId = 0;
+    CampaignParams params;
+    uint32_t session = 0;
+    uint32_t replicateBegin = 0;
+    uint32_t replicateEnd = 0; ///< exclusive
+};
+
+/** One unit's outcome within a ShardResult. */
+struct UnitResultMsg {
+    uint32_t replicate = 0;
+    core::SessionResult result;
+    uint64_t traceEventCount = 0;
+    std::string traceBytes; ///< TraceWriter::encodeUnit output
+};
+
+/**
+ * ShardResult payload. `prefixTelemetry` is the telemetry shard the
+ * worker recorded while sealing this session's golden prefix (empty
+ * when checkpointing is off or the worker had the prefix cached); the
+ * server accepts the first such blob per session and drops duplicates,
+ * which is sound because sealing is deterministic. `shardTelemetry`
+ * covers the unit executions and travels atomically with the results,
+ * so a worker that dies mid-shard contributes nothing at all and the
+ * requeued shard re-records identically.
+ */
+struct ShardResultMsg {
+    uint64_t campaignId = 0;
+    uint32_t session = 0;
+    uint32_t replicateBegin = 0;
+    uint32_t replicateEnd = 0;
+    std::string prefixTelemetry;
+    std::vector<UnitResultMsg> units;
+    std::string shardTelemetry;
+};
+
+/** CampaignDone payload. */
+struct CampaignDoneMsg {
+    uint64_t campaignId = 0;
+    bool ok = false;
+    std::string error;
+};
+
+/** ArtifactChunk payload. */
+struct ArtifactChunkMsg {
+    uint64_t campaignId = 0;
+    ArtifactKind kind = ArtifactKind::Report;
+    bool last = false;
+    std::string bytes;
+};
+
+/** ErrorMsg payload. */
+struct ErrorMsgMsg {
+    uint32_t code = 0;
+    std::string text;
+};
+
+std::string encodeHello(const HelloMsg &msg);
+bool decodeHello(const std::string &payload, HelloMsg &out,
+                 std::string &error);
+
+std::string encodeSubmit(const SubmitMsg &msg);
+bool decodeSubmit(const std::string &payload, SubmitMsg &out,
+                  std::string &error);
+
+std::string encodeAccepted(const AcceptedMsg &msg);
+bool decodeAccepted(const std::string &payload, AcceptedMsg &out,
+                    std::string &error);
+
+std::string encodeAttach(const AttachMsg &msg);
+bool decodeAttach(const std::string &payload, AttachMsg &out,
+                  std::string &error);
+
+std::string encodeProgress(const ProgressMsg &msg);
+bool decodeProgress(const std::string &payload, ProgressMsg &out,
+                    std::string &error);
+
+std::string encodeShardAssign(const ShardAssignMsg &msg);
+bool decodeShardAssign(const std::string &payload, ShardAssignMsg &out,
+                       std::string &error);
+
+std::string encodeShardResult(const ShardResultMsg &msg);
+bool decodeShardResult(const std::string &payload, ShardResultMsg &out,
+                       std::string &error);
+
+std::string encodeCampaignDone(const CampaignDoneMsg &msg);
+bool decodeCampaignDone(const std::string &payload, CampaignDoneMsg &out,
+                        std::string &error);
+
+std::string encodeArtifactChunk(const ArtifactChunkMsg &msg);
+bool decodeArtifactChunk(const std::string &payload,
+                         ArtifactChunkMsg &out, std::string &error);
+
+std::string encodeErrorMsg(const ErrorMsgMsg &msg);
+bool decodeErrorMsg(const std::string &payload, ErrorMsgMsg &out,
+                    std::string &error);
+
+/**
+ * Serialize one telemetry shard: counters, distribution histograms
+ * (shape plus bin counts -- integer counts transfer exactly), phase
+ * seconds, and unitsExecuted. Count prefixes double as version-skew
+ * guards: a peer built with a different Counter/Dist/Phase enum fails
+ * the decode instead of silently misattributing metrics.
+ */
+std::string encodeMetricShard(const telemetry::MetricShard &shard);
+bool decodeMetricShard(const std::string &payload,
+                       telemetry::MetricShard &out, std::string &error);
+
+} // namespace xser::service
+
+#endif // XSER_SERVICE_PROTOCOL_HH

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Wire primitives for protocol payloads: a little-endian writer and a
+ * saturating, never-crashing reader (DESIGN.md section 12).
+ *
+ * Every protocol message body is built with WireWriter and decoded
+ * with WireReader. The reader follows the core/checkpoint posture for
+ * external input: an underrun or a malformed length poisons the
+ * reader (ok() goes false, subsequent reads return zeros) instead of
+ * touching out-of-bounds memory, so a truncated or corrupted payload
+ * always surfaces as a clean protocol error.
+ */
+
+#ifndef XSER_SERVICE_WIRE_HH
+#define XSER_SERVICE_WIRE_HH
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace xser::service {
+
+/** Append-only little-endian payload builder. */
+class WireWriter
+{
+  public:
+    void
+    putU8(uint8_t value)
+    {
+        out_.push_back(static_cast<char>(value));
+    }
+
+    void
+    putU32(uint32_t value)
+    {
+        for (unsigned i = 0; i < 4; ++i)
+            out_.push_back(
+                static_cast<char>((value >> (8 * i)) & 0xff));
+    }
+
+    void
+    putU64(uint64_t value)
+    {
+        for (unsigned i = 0; i < 8; ++i)
+            out_.push_back(
+                static_cast<char>((value >> (8 * i)) & 0xff));
+    }
+
+    void
+    putF64(double value)
+    {
+        putU64(std::bit_cast<uint64_t>(value));
+    }
+
+    /** Length-prefixed (u32) byte string. */
+    void
+    putString(const std::string &value)
+    {
+        putU32(static_cast<uint32_t>(value.size()));
+        out_.append(value);
+    }
+
+    /** Length-prefixed (u64) opaque blob. */
+    void
+    putBlob(const std::string &value)
+    {
+        putU64(value.size());
+        out_.append(value);
+    }
+
+    std::string take() { return std::move(out_); }
+
+  private:
+    std::string out_;
+};
+
+/** Bounds-checked little-endian payload reader. */
+class WireReader
+{
+  public:
+    WireReader(const uint8_t *data, size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    explicit WireReader(const std::string &bytes)
+        : data_(reinterpret_cast<const uint8_t *>(bytes.data())),
+          size_(bytes.size())
+    {
+    }
+
+    bool ok() const { return ok_; }
+    bool atEnd() const { return ok_ && pos_ == size_; }
+
+    uint8_t
+    getU8()
+    {
+        if (!take(1))
+            return 0;
+        return data_[pos_ - 1];
+    }
+
+    uint32_t
+    getU32()
+    {
+        if (!take(4))
+            return 0;
+        uint32_t value = 0;
+        for (unsigned i = 0; i < 4; ++i)
+            value |= static_cast<uint32_t>(data_[pos_ - 4 + i])
+                     << (8 * i);
+        return value;
+    }
+
+    uint64_t
+    getU64()
+    {
+        if (!take(8))
+            return 0;
+        uint64_t value = 0;
+        for (unsigned i = 0; i < 8; ++i)
+            value |= static_cast<uint64_t>(data_[pos_ - 8 + i])
+                     << (8 * i);
+        return value;
+    }
+
+    double
+    getF64()
+    {
+        return std::bit_cast<double>(getU64());
+    }
+
+    /** Length-prefixed (u32) byte string; "" once poisoned. */
+    std::string
+    getString()
+    {
+        const uint32_t size = getU32();
+        if (!take(size))
+            return std::string();
+        return std::string(
+            reinterpret_cast<const char *>(data_ + pos_ - size), size);
+    }
+
+    /** Length-prefixed (u64) opaque blob; "" once poisoned. */
+    std::string
+    getBlob()
+    {
+        const uint64_t size = getU64();
+        if (!take(size))
+            return std::string();
+        return std::string(
+            reinterpret_cast<const char *>(data_ + pos_ - size),
+            static_cast<size_t>(size));
+    }
+
+  private:
+    /** Advance past `bytes` if available; poison otherwise. */
+    bool
+    take(uint64_t bytes)
+    {
+        if (!ok_ || bytes > size_ - pos_) {
+            ok_ = false;
+            return false;
+        }
+        pos_ += static_cast<size_t>(bytes);
+        return true;
+    }
+
+    const uint8_t *data_;
+    size_t size_;
+    size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace xser::service
+
+#endif // XSER_SERVICE_WIRE_HH

@@ -5,6 +5,7 @@
 
 #include "telemetry/progress.hh"
 
+#include <csignal>
 #include <cstdio>
 #include <unistd.h>
 
@@ -27,6 +28,65 @@ eraseProgressLine()
     if (activeMeter != nullptr) {
         std::fputs("\r\x1b[K", stderr);
         std::fflush(stderr);
+    }
+}
+
+/** Signals hooked while a meter is live, with saved dispositions. */
+constexpr int fatalSignals[] = {SIGINT, SIGTERM, SIGHUP};
+struct sigaction savedActions[3];
+bool hookedSignals[3] = {false, false, false};
+
+/**
+ * Async-signal-safe last act: wipe the progress line with a raw
+ * write(2) -- no stdio, no locks -- then restore the default
+ * disposition and re-raise so the process still dies by the signal
+ * with its exit status intact.
+ */
+extern "C" void
+eraseProgressOnSignal(int signum)
+{
+    static const char erase[] = "\r\x1b[K";
+    const ssize_t rc =
+        write(STDERR_FILENO, erase, sizeof(erase) - 1);
+    (void)rc;
+    struct sigaction dfl = {};
+    dfl.sa_handler = SIG_DFL;
+    sigaction(signum, &dfl, nullptr);
+    raise(signum);
+}
+
+/**
+ * Install the wipe-and-reraise handler for each fatal signal still at
+ * its default disposition. Application handlers (a server's graceful
+ * shutdown flag, say) are left alone: only "die with the meter line
+ * still on screen" needs fixing.
+ */
+void
+hookFatalSignals()
+{
+    for (size_t i = 0; i < 3; ++i) {
+        struct sigaction current = {};
+        if (sigaction(fatalSignals[i], nullptr, &current) != 0)
+            continue;
+        if (current.sa_handler != SIG_DFL)
+            continue;
+        struct sigaction action = {};
+        action.sa_handler = &eraseProgressOnSignal;
+        sigemptyset(&action.sa_mask);
+        if (sigaction(fatalSignals[i], &action, &savedActions[i]) ==
+            0)
+            hookedSignals[i] = true;
+    }
+}
+
+void
+unhookFatalSignals()
+{
+    for (size_t i = 0; i < 3; ++i) {
+        if (!hookedSignals[i])
+            continue;
+        sigaction(fatalSignals[i], &savedActions[i], nullptr);
+        hookedSignals[i] = false;
     }
 }
 
@@ -57,6 +117,7 @@ ProgressMeter::begin(const std::string &label, uint64_t total_units)
     active_ = true;
     activeMeter = this;
     Logger::global().setLineHook(&eraseProgressLine);
+    hookFatalSignals();
 }
 
 void
@@ -99,6 +160,7 @@ ProgressMeter::finish()
     if (activeMeter == this) {
         activeMeter = nullptr;
         Logger::global().setLineHook(nullptr);
+        unhookFatalSignals();
         std::fputs("\r\x1b[K", stderr);
         std::fflush(stderr);
     }

@@ -20,12 +20,11 @@ TraceWriter::TraceWriter(const std::string &path)
         fatal(msg("cannot open trace file '", path_, "' for writing"));
 }
 
-void
-TraceWriter::writeHeader(uint64_t seed, uint64_t config_hash,
-                         const std::vector<TraceArrayInfo> &arrays,
-                         uint64_t unit_count)
+std::string
+TraceWriter::encodeHeader(uint64_t seed, uint64_t config_hash,
+                          const std::vector<TraceArrayInfo> &arrays,
+                          uint64_t unit_count)
 {
-    XSER_ASSERT(!headerWritten_, "trace header written twice");
     std::string bytes;
     bytes.append(traceMagic, sizeof(traceMagic));
     putVarint(bytes, traceFormatVersion);
@@ -41,6 +40,17 @@ TraceWriter::writeHeader(uint64_t seed, uint64_t config_hash,
         putVarint(bytes, array.words);
     }
     putVarint(bytes, unit_count);
+    return bytes;
+}
+
+void
+TraceWriter::writeHeader(uint64_t seed, uint64_t config_hash,
+                         const std::vector<TraceArrayInfo> &arrays,
+                         uint64_t unit_count)
+{
+    XSER_ASSERT(!headerWritten_, "trace header written twice");
+    const std::string bytes =
+        encodeHeader(seed, config_hash, arrays, unit_count);
     out_.write(bytes.data(),
                static_cast<std::streamsize>(bytes.size()));
     unitsExpected_ = unit_count;

@@ -69,6 +69,16 @@ class TraceWriter
     /** Encode one unit section (exposed for round-trip tests). */
     static std::string encodeUnit(const TraceBuffer &buffer);
 
+    /**
+     * Encode the file header (exposed so the distributed campaign
+     * service can assemble a byte-identical .xtrace in memory from
+     * worker-streamed unit sections).
+     */
+    static std::string
+    encodeHeader(uint64_t seed, uint64_t config_hash,
+                 const std::vector<TraceArrayInfo> &arrays,
+                 uint64_t unit_count);
+
   private:
     std::string path_;
     std::ofstream out_;

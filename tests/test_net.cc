@@ -1,0 +1,424 @@
+/**
+ * @file
+ * Protocol robustness tests for the net frame codec and the service
+ * message layer (DESIGN.md section 12).
+ *
+ * The posture under test is the core/checkpoint one: any malformed
+ * byte stream -- truncations, bit flips, garbage, hostile size fields
+ * -- must yield a clean, descriptive error, never a crash, hang, or
+ * silent misparse. The sweeps below exercise every prefix length and
+ * every flipped bit of real encoded messages.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/frame.hh"
+#include "service/protocol.hh"
+#include "telemetry/metrics.hh"
+
+namespace xser {
+namespace {
+
+using net::FrameReader;
+
+std::string
+sampleFrame()
+{
+    return net::encodeFrame(7, "the quick brown payload");
+}
+
+// --------------------------------------------------------------------
+// Frame envelope
+// --------------------------------------------------------------------
+
+TEST(FrameCodec, RoundTripsTypeAndPayload)
+{
+    const std::string bytes = net::encodeFrame(42, "abc");
+    const net::FrameView view = net::decodeFrame(
+        reinterpret_cast<const uint8_t *>(bytes.data()), bytes.size());
+    ASSERT_TRUE(view.ok);
+    EXPECT_EQ(view.type, 42u);
+    EXPECT_EQ(std::string(reinterpret_cast<const char *>(view.payload),
+                          view.payloadSize),
+              "abc");
+    EXPECT_EQ(view.frameSize, bytes.size());
+}
+
+TEST(FrameCodec, EmptyPayloadRoundTrips)
+{
+    const std::string bytes = net::encodeFrame(1, "");
+    const net::FrameView view = net::decodeFrame(
+        reinterpret_cast<const uint8_t *>(bytes.data()), bytes.size());
+    ASSERT_TRUE(view.ok);
+    EXPECT_EQ(view.payloadSize, 0u);
+}
+
+TEST(FrameCodec, EveryPrefixIsIncompleteNotError)
+{
+    const std::string bytes = sampleFrame();
+    for (size_t len = 0; len < bytes.size(); ++len) {
+        const net::FrameView view = net::decodeFrame(
+            reinterpret_cast<const uint8_t *>(bytes.data()), len);
+        EXPECT_FALSE(view.ok) << "prefix " << len;
+        EXPECT_TRUE(view.incomplete) << "prefix " << len;
+        EXPECT_FALSE(view.error.empty()) << "prefix " << len;
+    }
+}
+
+TEST(FrameCodec, EveryBitFlipIsDetectedOrHarmless)
+{
+    // Flipping any single bit must never crash and must never yield a
+    // successfully decoded frame with the original type AND payload:
+    // the magic guards bytes 0-7, the version check 8-11, the checksum
+    // guards the payload, and a size-field flip either trips the cap
+    // or reads as a (harmless) still-incomplete frame. Only the type
+    // field is deliberately unauthenticated -- the application layer
+    // rejects unknown types -- so a type flip may decode, but with a
+    // different type.
+    const std::string bytes = sampleFrame();
+    const net::FrameView good = net::decodeFrame(
+        reinterpret_cast<const uint8_t *>(bytes.data()), bytes.size());
+    ASSERT_TRUE(good.ok);
+    for (size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+        std::string flipped = bytes;
+        flipped[bit / 8] =
+            static_cast<char>(flipped[bit / 8] ^ (1 << (bit % 8)));
+        const net::FrameView view = net::decodeFrame(
+            reinterpret_cast<const uint8_t *>(flipped.data()),
+            flipped.size());
+        if (!view.ok) {
+            EXPECT_FALSE(view.error.empty()) << "bit " << bit;
+            continue;
+        }
+        const bool type_changed = view.type != good.type;
+        EXPECT_TRUE(type_changed) << "bit " << bit;
+    }
+}
+
+TEST(FrameCodec, HostileSizeFieldTripsTheCap)
+{
+    std::string bytes = sampleFrame();
+    // Overwrite the payload-size field (bytes 16..23) with a size just
+    // past the protocol cap.
+    const uint64_t hostile = net::maxFramePayloadBytes + 1;
+    for (unsigned i = 0; i < 8; ++i)
+        bytes[16 + i] =
+            static_cast<char>((hostile >> (8 * i)) & 0xff);
+    const net::FrameView view = net::decodeFrame(
+        reinterpret_cast<const uint8_t *>(bytes.data()), bytes.size());
+    EXPECT_FALSE(view.ok);
+    EXPECT_FALSE(view.incomplete); // hard error, not "wait for more"
+    EXPECT_NE(view.error.find("exceeds"), std::string::npos);
+}
+
+TEST(FrameReaderTest, ReassemblesOneByteAtATime)
+{
+    const std::string bytes = sampleFrame() + net::encodeFrame(9, "x");
+    FrameReader reader;
+    std::vector<net::Frame> frames;
+    for (char byte : bytes) {
+        reader.feed(&byte, 1);
+        net::Frame frame;
+        while (reader.next(frame) == FrameReader::Status::Ready)
+            frames.push_back(frame);
+    }
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_EQ(frames[0].type, 7u);
+    EXPECT_EQ(frames[0].payload, "the quick brown payload");
+    EXPECT_EQ(frames[1].type, 9u);
+    EXPECT_EQ(frames[1].payload, "x");
+    EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReaderTest, GarbageMakesTheStreamStickyFailed)
+{
+    FrameReader reader;
+    const std::string garbage = "GET / HTTP/1.1\r\n\r\n"
+                                "definitely not an xser stream";
+    reader.feed(garbage.data(), garbage.size());
+    net::Frame frame;
+    EXPECT_EQ(reader.next(frame), FrameReader::Status::Error);
+    EXPECT_FALSE(reader.error().empty());
+    // Feeding a perfectly valid frame afterwards must not resurrect
+    // the stream: framing is lost for good once desynchronized.
+    const std::string good = sampleFrame();
+    reader.feed(good.data(), good.size());
+    EXPECT_EQ(reader.next(frame), FrameReader::Status::Error);
+}
+
+// --------------------------------------------------------------------
+// Service message codecs
+// --------------------------------------------------------------------
+
+service::CampaignParams
+sampleParams()
+{
+    service::CampaignParams params;
+    params.scale = 0.07;
+    params.seed = 0xdecafbadULL;
+    params.replicates = 3;
+    params.checkpoint = true;
+    params.fastpath = false;
+    params.traceBufferEvents = 4096;
+    params.wantTrace = true;
+    params.wantMetrics = true;
+    params.configHash = 0x1234abcdULL;
+    return params;
+}
+
+core::SessionResult
+sampleResult()
+{
+    core::SessionResult result;
+    result.point.name = "Vmin";
+    result.point.pmdMillivolts = 890.0;
+    result.point.socMillivolts = 920.0;
+    result.point.frequencyHz = 2.4e9;
+    result.beamFluxPerSecond = 1.5e6;
+    result.runs = 17;
+    result.fluence = 3.25e9;
+    result.duration = 987654321;
+    result.events.sdcSilent = 4;
+    result.events.sdcNotified = 2;
+    result.events.appCrash = 1;
+    result.events.sysCrash = 1;
+    result.edac[0] = {11, 1};
+    result.edac[1] = {7, 0};
+    result.upsetsDetected = 19;
+    result.rawUpsetEvents = 23;
+    result.totalSramBits = 1u << 22;
+    result.avgPowerWatts = 12.5;
+    core::WorkloadSessionStats workload;
+    workload.name = "cg.S";
+    workload.runs = 5;
+    workload.fluence = 1e9;
+    workload.duration = 1234;
+    workload.upsetsDetected = 3;
+    workload.events.sdcSilent = 1;
+    result.perWorkload.push_back(workload);
+    return result;
+}
+
+service::ShardResultMsg
+sampleShardResult()
+{
+    service::ShardResultMsg msg;
+    msg.campaignId = 77;
+    msg.session = 2;
+    msg.replicateBegin = 1;
+    msg.replicateEnd = 3;
+    msg.prefixTelemetry = "prefix-blob";
+    for (uint32_t replicate = 1; replicate < 3; ++replicate) {
+        service::UnitResultMsg unit;
+        unit.replicate = replicate;
+        unit.result = sampleResult();
+        unit.traceEventCount = 12;
+        unit.traceBytes = std::string("\x01\x02\x00raw", 6);
+        msg.units.push_back(unit);
+    }
+    msg.shardTelemetry = "shard-blob";
+    return msg;
+}
+
+TEST(ServiceCodec, ShardResultRoundTrips)
+{
+    const service::ShardResultMsg original = sampleShardResult();
+    const std::string payload = encodeShardResult(original);
+    service::ShardResultMsg decoded;
+    std::string error;
+    ASSERT_TRUE(decodeShardResult(payload, decoded, error)) << error;
+    EXPECT_EQ(decoded.campaignId, original.campaignId);
+    EXPECT_EQ(decoded.session, original.session);
+    EXPECT_EQ(decoded.replicateBegin, original.replicateBegin);
+    EXPECT_EQ(decoded.replicateEnd, original.replicateEnd);
+    EXPECT_EQ(decoded.prefixTelemetry, original.prefixTelemetry);
+    EXPECT_EQ(decoded.shardTelemetry, original.shardTelemetry);
+    ASSERT_EQ(decoded.units.size(), original.units.size());
+    for (size_t i = 0; i < decoded.units.size(); ++i) {
+        const core::SessionResult &a = decoded.units[i].result;
+        const core::SessionResult &b = original.units[i].result;
+        EXPECT_EQ(decoded.units[i].replicate,
+                  original.units[i].replicate);
+        EXPECT_EQ(decoded.units[i].traceBytes,
+                  original.units[i].traceBytes);
+        EXPECT_EQ(a.point.name, b.point.name);
+        EXPECT_EQ(a.point.pmdMillivolts, b.point.pmdMillivolts);
+        EXPECT_EQ(a.runs, b.runs);
+        EXPECT_EQ(a.fluence, b.fluence);
+        EXPECT_EQ(a.duration, b.duration);
+        EXPECT_EQ(a.events.total(), b.events.total());
+        EXPECT_EQ(a.edac[0].corrected, b.edac[0].corrected);
+        EXPECT_EQ(a.upsetsDetected, b.upsetsDetected);
+        EXPECT_EQ(a.avgPowerWatts, b.avgPowerWatts);
+        ASSERT_EQ(a.perWorkload.size(), b.perWorkload.size());
+        EXPECT_EQ(a.perWorkload[0].name, b.perWorkload[0].name);
+        EXPECT_EQ(a.perWorkload[0].upsetsDetected,
+                  b.perWorkload[0].upsetsDetected);
+    }
+}
+
+TEST(ServiceCodec, EveryShardResultTruncationFailsCleanly)
+{
+    const std::string payload =
+        encodeShardResult(sampleShardResult());
+    for (size_t len = 0; len < payload.size(); ++len) {
+        service::ShardResultMsg decoded;
+        std::string error;
+        EXPECT_FALSE(decodeShardResult(payload.substr(0, len),
+                                       decoded, error))
+            << "prefix " << len << " decoded successfully";
+        EXPECT_FALSE(error.empty()) << "prefix " << len;
+    }
+}
+
+TEST(ServiceCodec, EverySubmitTruncationFailsCleanly)
+{
+    service::SubmitMsg submit;
+    submit.params = sampleParams();
+    submit.tracePath = "out/campaign.xtrace";
+    const std::string payload = encodeSubmit(submit);
+    for (size_t len = 0; len < payload.size(); ++len) {
+        service::SubmitMsg decoded;
+        std::string error;
+        EXPECT_FALSE(
+            decodeSubmit(payload.substr(0, len), decoded, error))
+            << "prefix " << len;
+    }
+    service::SubmitMsg decoded;
+    std::string error;
+    ASSERT_TRUE(decodeSubmit(payload, decoded, error)) << error;
+    EXPECT_EQ(decoded.params.seed, submit.params.seed);
+    EXPECT_EQ(decoded.params.replicates, submit.params.replicates);
+    EXPECT_EQ(decoded.params.fastpath, submit.params.fastpath);
+    EXPECT_EQ(decoded.tracePath, submit.tracePath);
+}
+
+TEST(ServiceCodec, EveryShardAssignBitFlipNeverCrashes)
+{
+    service::ShardAssignMsg assign;
+    assign.campaignId = 5;
+    assign.params = sampleParams();
+    assign.session = 1;
+    assign.replicateBegin = 0;
+    assign.replicateEnd = 2;
+    const std::string payload = encodeShardAssign(assign);
+    for (size_t bit = 0; bit < payload.size() * 8; ++bit) {
+        std::string flipped = payload;
+        flipped[bit / 8] =
+            static_cast<char>(flipped[bit / 8] ^ (1 << (bit % 8)));
+        service::ShardAssignMsg decoded;
+        std::string error;
+        // Either outcome is fine -- a flipped coordinate can still be
+        // a well-formed message -- the requirement is no crash and a
+        // nonempty error whenever the decode refuses.
+        if (!decodeShardAssign(flipped, decoded, error))
+            EXPECT_FALSE(error.empty()) << "bit " << bit;
+    }
+}
+
+TEST(ServiceCodec, RejectsDegenerateCoordinates)
+{
+    service::SubmitMsg zero_reps;
+    zero_reps.params = sampleParams();
+    zero_reps.params.replicates = 0;
+    service::SubmitMsg decoded;
+    std::string error;
+    EXPECT_FALSE(
+        decodeSubmit(encodeSubmit(zero_reps), decoded, error));
+    EXPECT_FALSE(error.empty());
+
+    service::ShardAssignMsg empty_range;
+    empty_range.params = sampleParams();
+    empty_range.replicateBegin = 3;
+    empty_range.replicateEnd = 3;
+    service::ShardAssignMsg assign_out;
+    error.clear();
+    EXPECT_FALSE(decodeShardAssign(encodeShardAssign(empty_range),
+                                   assign_out, error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(ServiceCodec, GarbageNeverDecodes)
+{
+    // 256 deterministic pseudo-random payloads; none may crash and
+    // none may parse as a ShardResult (the odds of a valid count
+    // structure arising by chance are nil).
+    uint64_t state = 0x9e3779b97f4a7c15ULL;
+    for (int trial = 0; trial < 256; ++trial) {
+        std::string junk;
+        const size_t size = (state >> 17) % 512;
+        for (size_t i = 0; i < size; ++i) {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            junk.push_back(static_cast<char>(state & 0xff));
+        }
+        service::ShardResultMsg decoded;
+        std::string error;
+        EXPECT_FALSE(decodeShardResult(junk, decoded, error));
+        state += 0x9e3779b97f4a7c15ULL;
+    }
+}
+
+// --------------------------------------------------------------------
+// Telemetry shard transfer
+// --------------------------------------------------------------------
+
+TEST(ServiceCodec, MetricShardRoundTripsExactly)
+{
+    telemetry::MetricShard shard;
+    shard.counters[0] = 101;
+    shard.counters[telemetry::numCounters - 1] = 7;
+    // Populate every distribution, including out-of-range samples so
+    // the underflow/overflow transfer is exercised.
+    for (size_t d = 0; d < telemetry::numDists; ++d) {
+        Histogram &hist = shard.dists[d];
+        hist.add(hist.low(), 3);
+        hist.add(hist.low() - 1e9, 2);  // underflow
+        hist.add(hist.high() + 1e9, 1); // overflow
+    }
+    shard.phaseSeconds[0] = 1.25;
+    shard.unitsExecuted = 9;
+
+    const std::string blob = service::encodeMetricShard(shard);
+    telemetry::MetricShard decoded;
+    std::string error;
+    ASSERT_TRUE(service::decodeMetricShard(blob, decoded, error))
+        << error;
+    EXPECT_EQ(decoded.counters, shard.counters);
+    EXPECT_EQ(decoded.phaseSeconds, shard.phaseSeconds);
+    EXPECT_EQ(decoded.unitsExecuted, shard.unitsExecuted);
+    ASSERT_EQ(decoded.dists.size(), shard.dists.size());
+    for (size_t d = 0; d < shard.dists.size(); ++d) {
+        const Histogram &a = decoded.dists[d];
+        const Histogram &b = shard.dists[d];
+        ASSERT_EQ(a.bins(), b.bins());
+        EXPECT_EQ(a.underflow(), b.underflow());
+        EXPECT_EQ(a.overflow(), b.overflow());
+        EXPECT_EQ(a.total(), b.total());
+        for (size_t bin = 0; bin < a.bins(); ++bin)
+            EXPECT_EQ(a.binCount(bin), b.binCount(bin));
+    }
+}
+
+TEST(ServiceCodec, EveryMetricShardTruncationFailsCleanly)
+{
+    telemetry::MetricShard shard;
+    shard.counters[1] = 42;
+    shard.dists[0].add(shard.dists[0].low(), 5);
+    const std::string blob = service::encodeMetricShard(shard);
+    for (size_t len = 0; len < blob.size(); ++len) {
+        telemetry::MetricShard decoded;
+        std::string error;
+        EXPECT_FALSE(
+            service::decodeMetricShard(blob.substr(0, len), decoded,
+                                       error))
+            << "prefix " << len;
+    }
+}
+
+} // namespace
+} // namespace xser

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -377,6 +378,23 @@ TEST(ProgressLine, LoggerRunsTheLineHookBeforeMessages)
 
     logger.setLineHook(nullptr);
     logger.setLevel(saved);
+}
+
+TEST(ProgressLine, FatalSignalWipesTheMeterLine)
+{
+    // A live meter hooks the default-disposition fatal signals; the
+    // handler's last act is an async-signal-safe erase of the progress
+    // line before the default disposition is restored and the signal
+    // re-raised -- the process still dies by SIGTERM, but without a
+    // half-drawn meter left on the terminal.
+    EXPECT_EXIT(
+        {
+            telemetry::ProgressMeter meter;
+            meter.begin("campaign", 4);
+            meter.tick(1);
+            std::raise(SIGTERM);
+        },
+        testing::KilledBySignal(SIGTERM), "\x1b\\[K\r\x1b\\[K");
 }
 
 /** Fast-but-real campaign (mirrors test_trace.cc). */

@@ -79,9 +79,9 @@ layerRanks()
 {
     static const std::map<std::string, int> ranks{
         {"sim", 0},   {"stats", 1},     {"trace", 1}, {"ecc", 1},
-        {"volt", 1},  {"telemetry", 2}, {"mem", 3},
-        {"workloads", 4}, {"rad", 4},   {"cpu", 4},   {"inject", 5},
-        {"core", 6},  {"cli", 7},
+        {"volt", 1},  {"telemetry", 2}, {"net", 3},   {"mem", 4},
+        {"workloads", 5}, {"rad", 5},   {"cpu", 5},   {"inject", 6},
+        {"core", 7},  {"service", 8},   {"cli", 9},
     };
     return ranks;
 }
@@ -523,6 +523,55 @@ checkTelemetryPurity(const std::vector<FileFacts> &facts)
                          "stream derivation and the snapshot codec "
                          "must stay observable-state only -- telemetry "
                          "must never feed back into them"});
+            }
+        }
+    }
+    return diags;
+}
+
+std::vector<Diagnostic>
+checkNetConfinement(const std::vector<FileFacts> &facts)
+{
+    // OS networking headers only src/net may see; everything above it
+    // speaks net::TcpConnection / net::pollSockets, keeping socket
+    // error handling and platform quirks in one audited layer.
+    static const std::set<std::string> socket_headers{
+        "sys/socket.h", "netinet/in.h",  "netinet/tcp.h",
+        "arpa/inet.h",  "poll.h",        "sys/poll.h",
+        "sys/epoll.h",  "sys/select.h",  "netdb.h",
+        "sys/un.h"};
+    // Transport code must stay below the simulation: a src/net file
+    // that reads the RNG or the snapshot codec could let I/O timing
+    // feed back into replayable state.
+    static const std::set<std::string> forbidden_from_net{
+        "sim/rng.hh", "sim/snapshot.hh"};
+
+    std::vector<Diagnostic> diags;
+    for (const FileFacts &file : facts) {
+        if (!startsWith(file.path, "src/"))
+            continue;
+        const bool in_net = startsWith(file.path, "src/net/");
+        for (const IncludeFact &include : file.includes) {
+            if (!in_net && !include.quoted &&
+                socket_headers.count(include.target)) {
+                diags.push_back(
+                    {file.path, include.line, "net-confinement",
+                     include.target,
+                     "socket header <" + include.target +
+                         "> included outside src/net; all transport "
+                         "goes through net::TcpConnection / "
+                         "net::pollSockets so platform networking "
+                         "stays confined to one audited layer"});
+            }
+            if (in_net && include.quoted &&
+                forbidden_from_net.count(include.target)) {
+                diags.push_back(
+                    {file.path, include.line, "net-confinement",
+                     include.target,
+                     "transport file " + file.path + " includes \"" +
+                         include.target + "\"; src/net must stay "
+                         "below the simulation -- RNG streams and "
+                         "snapshot state must never depend on I/O"});
             }
         }
     }

@@ -121,6 +121,14 @@ checkFastpathParity(const std::vector<FileFacts> &facts,
 std::vector<Diagnostic>
 checkTelemetryPurity(const std::vector<FileFacts> &facts);
 
+/**
+ * Rule "net-confinement": OS socket/poll headers appear only under
+ * src/net/, and src/net never includes the RNG or snapshot headers
+ * (transport must stay below the simulation in the layer DAG).
+ */
+std::vector<Diagnostic>
+checkNetConfinement(const std::vector<FileFacts> &facts);
+
 } // namespace xser::lint
 
 #endif // XSER_TOOLS_LINT_FACTS_HH

@@ -76,6 +76,10 @@ ruleTable()
          "Wall-clock headers live only under src/telemetry, and RNG/"
          "snapshot code never includes a telemetry header.",
          true},
+        {"net-confinement",
+         "Socket/poll headers live only under src/net, and src/net "
+         "never includes RNG or snapshot headers.",
+         true},
     };
     return rules;
 }

@@ -297,6 +297,7 @@ runLint(const LintConfig &config)
         append(checkTraceSchemaSync(tree_facts));
         append(checkFastpathParity(tree_facts, test_facts));
         append(checkTelemetryPurity(tree_facts));
+        append(checkNetConfinement(tree_facts));
     }
 
     // --diff mode: only report findings in the requested files.
